@@ -1,0 +1,255 @@
+(* lvp — Las Vegas speed-up prediction toolbox.
+
+   Subcommands:
+     solve      run Adaptive Search once on a benchmark instance
+     campaign   collect a sequential runtime dataset (CSV)
+     fit        fit candidate distributions to a dataset and KS-test them
+     predict    predict multi-walk speed-ups from a dataset
+     simulate   measure multi-walk speed-ups from a dataset (plug-in min)
+     race       run a real parallel multi-walk race on OCaml domains
+     paper      print the paper's published tables next to model output *)
+
+open Cmdliner
+
+let problem_conv =
+  let parse s =
+    match Lv_problems.Registry.find s with
+    | Some f -> Ok f
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown problem %S (known: %s)" s
+             (String.concat ", " Lv_problems.Registry.names)))
+  in
+  let print ppf _ = Format.fprintf ppf "<problem>" in
+  Arg.conv (parse, print)
+
+let problem_arg =
+  Arg.(
+    required
+    & pos 0 (some problem_conv) None
+    & info [] ~docv:"PROBLEM" ~doc:"Benchmark problem (all-interval, magic-square, costas-array, n-queens).")
+
+let size_arg =
+  Arg.(required & pos 1 (some int) None & info [] ~docv:"SIZE" ~doc:"Instance size.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let runs_arg =
+  Arg.(value & opt int 200 & info [ "runs"; "r" ] ~docv:"N" ~doc:"Number of runs.")
+
+let cores_arg =
+  Arg.(
+    value
+    & opt (list int) [ 16; 32; 64; 128; 256 ]
+    & info [ "cores"; "k" ] ~docv:"K,K,..." ~doc:"Core counts to evaluate.")
+
+let walk_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "walk" ] ~docv:"P"
+        ~doc:"Probability of walking through a local minimum (default: per-problem).")
+
+let max_iter_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "max-iterations" ] ~docv:"N"
+        ~doc:"Iteration budget per run (0 = unlimited).")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output CSV file.")
+
+let dataset_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"DATASET.CSV" ~doc:"Runtime dataset (one value per line or index,value).")
+
+let params_of ~walk ~max_iter name size =
+  let base = Lv_problems.Defaults.params name size in
+  let base =
+    match walk with
+    | Some p -> { base with Lv_search.Params.prob_select_loc_min = p }
+    | None -> base
+  in
+  if max_iter > 0 then { base with Lv_search.Params.max_iterations = max_iter }
+  else base
+
+(* ------------------------------------------------------------------ *)
+
+let solve_cmd =
+  let run make size seed walk max_iter =
+    let packed = make size in
+    let name = Lv_search.Csp.packed_name packed in
+    let params = params_of ~walk ~max_iter name size in
+    let rng = Lv_stats.Rng.create ~seed in
+    let t0 = Unix.gettimeofday () in
+    let result = Lv_search.Adaptive_search.solve_packed ~params ~rng packed in
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf "%s %d: %s in %.3fs, %a@."
+      name size
+      (if Lv_search.Adaptive_search.solved result then "solved" else "exhausted")
+      dt Lv_search.Adaptive_search.pp_stats
+      result.Lv_search.Adaptive_search.stats;
+    if Lv_search.Adaptive_search.solved result then 0 else 1
+  in
+  let term =
+    Term.(const run $ problem_arg $ size_arg $ seed_arg $ walk_arg $ max_iter_arg)
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Run Adaptive Search once on a benchmark instance.") term
+
+let campaign_cmd =
+  let run make size seed walk max_iter runs out =
+    let packed0 = make size in
+    let name = Lv_search.Csp.packed_name packed0 in
+    let params = params_of ~walk ~max_iter name size in
+    let label = Printf.sprintf "%s-%d" name size in
+    let c =
+      Lv_multiwalk.Campaign.run ~params ~label ~seed ~runs
+        ~progress:(fun k -> if k mod 25 = 0 then Printf.eprintf "  %d/%d runs\r%!" k runs)
+        (fun () -> make size)
+    in
+    Printf.eprintf "\n%!";
+    let s = Lv_multiwalk.Dataset.summary c.Lv_multiwalk.Campaign.iterations in
+    Format.printf "%s: %d runs (%d unsolved), iterations: %a@." label runs
+      c.Lv_multiwalk.Campaign.n_unsolved Lv_stats.Summary.pp s;
+    (match out with
+    | Some path ->
+      Lv_multiwalk.Dataset.save_csv c.Lv_multiwalk.Campaign.iterations path;
+      Format.printf "saved iteration dataset to %s@." path
+    | None -> ());
+    0
+  in
+  let term =
+    Term.(
+      const run $ problem_arg $ size_arg $ seed_arg $ walk_arg $ max_iter_arg
+      $ runs_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Collect sequential runtimes over many independent runs.")
+    term
+
+let fit_cmd =
+  let run path alpha =
+    let ds = Lv_multiwalk.Dataset.load_csv path in
+    let report = Lv_core.Fit.fit ~alpha ds.Lv_multiwalk.Dataset.values in
+    Format.printf "%a@." Lv_core.Fit.pp_report report;
+    0
+  in
+  let alpha =
+    Arg.(value & opt float 0.05 & info [ "alpha" ] ~docv:"A" ~doc:"KS significance level.")
+  in
+  let term = Term.(const run $ dataset_arg $ alpha) in
+  Cmd.v
+    (Cmd.info "fit" ~doc:"Fit candidate runtime distributions and KS-test them.")
+    term
+
+let predict_cmd =
+  let run path cores =
+    let ds = Lv_multiwalk.Dataset.load_csv path in
+    let p = Lv_core.Predict.of_dataset ~cores ds in
+    Format.printf "%a@." Lv_core.Predict.pp_prediction p;
+    0
+  in
+  let term = Term.(const run $ dataset_arg $ cores_arg) in
+  Cmd.v
+    (Cmd.info "predict" ~doc:"Predict multi-walk speed-ups from a runtime dataset.")
+    term
+
+let simulate_cmd =
+  let run path cores =
+    let ds = Lv_multiwalk.Dataset.load_csv path in
+    let rows = Lv_multiwalk.Sim.table ds ~cores in
+    List.iter (fun r -> Format.printf "%a@." Lv_multiwalk.Sim.pp_row r) rows;
+    0
+  in
+  let term = Term.(const run $ dataset_arg $ cores_arg) in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Measure multi-walk speed-ups from a dataset (exact plug-in minimum).")
+    term
+
+let race_cmd =
+  let run make size seed walk max_iter walkers =
+    let packed0 = make size in
+    let name = Lv_search.Csp.packed_name packed0 in
+    let params = params_of ~walk ~max_iter name size in
+    let outcome =
+      Lv_multiwalk.Race.wall_clock ~params ~seed ~walkers (fun () -> make size)
+    in
+    Format.printf "%a@." Lv_multiwalk.Race.pp_outcome outcome;
+    if outcome.Lv_multiwalk.Race.solved then 0 else 1
+  in
+  let walkers =
+    Arg.(value & opt int 4 & info [ "walkers"; "w" ] ~docv:"N" ~doc:"Parallel walkers.")
+  in
+  let term =
+    Term.(
+      const run $ problem_arg $ size_arg $ seed_arg $ walk_arg $ max_iter_arg $ walkers)
+  in
+  Cmd.v
+    (Cmd.info "race" ~doc:"Race parallel walkers on OCaml domains; first solution wins.")
+    term
+
+let ttt_cmd =
+  let run path =
+    let ds = Lv_multiwalk.Dataset.load_csv path in
+    let values = ds.Lv_multiwalk.Dataset.values in
+    print_string (Lv_core.Ttt.render values);
+    let report = Lv_core.Fit.fit ~candidates:Lv_core.Fit.paper_candidates values in
+    List.iter
+      (fun f ->
+        Format.printf "Q-Q straightness vs %-28s r = %.4f%s@."
+          (Lv_stats.Distribution.to_string f.Lv_core.Fit.dist)
+          (Lv_core.Ttt.qq_correlation values f.Lv_core.Fit.dist)
+          (if f.Lv_core.Fit.ks.Lv_stats.Kolmogorov.accept then ""
+           else "   (KS rejected)"))
+      report.Lv_core.Fit.fits;
+    0
+  in
+  let term = Term.(const run $ dataset_arg) in
+  Cmd.v
+    (Cmd.info "ttt"
+       ~doc:"Time-to-target plot and Q-Q straightness scores for a dataset.")
+    term
+
+let paper_cmd =
+  let run () =
+    let open Lv_core in
+    List.iter
+      (fun b ->
+        let name = Paper_data.benchmark_name b in
+        let law = Paper_data.fitted_law b in
+        let p =
+          Predict.of_distribution ~label:name ~cores:Paper_data.cores law
+        in
+        let rows = Predict.compare p ~measured:(Paper_data.table5_experimental b) in
+        Format.printf "%s — law %s@.%a@." name
+          (Lv_stats.Distribution.to_string law)
+          Predict.pp_comparison rows)
+      Paper_data.benchmarks;
+    0
+  in
+  let term = Term.(const run $ const ()) in
+  Cmd.v
+    (Cmd.info "paper"
+       ~doc:"Replay the paper's Table 5 from its published fitted parameters.")
+    term
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "lvp" ~version:"1.0.0"
+      ~doc:"Prediction of parallel speed-ups for Las Vegas algorithms."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [ solve_cmd; campaign_cmd; fit_cmd; predict_cmd; simulate_cmd;
+            race_cmd; ttt_cmd; paper_cmd ]))

@@ -1,0 +1,60 @@
+(* The paper's synthetic figures, regenerated from the model alone:
+
+   - Figure 1: min-distribution of a truncated gaussian for n = 10/100/1000;
+   - Figures 2-3: shifted exponential (x0 = 100, lambda = 1/1000) —
+     min-distributions and the saturating speed-up curve with its limit;
+   - Figures 4-5: lognormal (mu = 5, sigma = 1) — min-distributions and the
+     numerically integrated speed-up curve.
+
+   Run with: dune exec examples/distribution_gallery.exe *)
+
+open Lv_stats
+
+let density_row d xs =
+  List.map (fun x -> (x, d.Distribution.pdf x)) xs
+
+let print_gallery name base ns xs =
+  Format.printf "--- %s ---@." name;
+  Format.printf "%-10s" "x";
+  List.iter (fun n -> Format.printf "  f_Z n=%-6d" n) (1 :: ns);
+  Format.printf "@.";
+  List.iter
+    (fun x ->
+      Format.printf "%-10.1f" x;
+      List.iter
+        (fun n ->
+          let d = if n = 1 then base else Lv_core.Min_dist.distribution base ~n in
+          Format.printf "  %11.6f" (d.Distribution.pdf x))
+        (1 :: ns);
+      Format.printf "@.")
+    xs;
+  ignore density_row
+
+let () =
+  (* Figure 1: gaussian cut on R- and renormalized, mu=300 sigma=150. *)
+  let gauss = Normal.truncated_positive ~mu:300. ~sigma:150. in
+  print_gallery "Figure 1: truncated gaussian, min-distributions" gauss
+    [ 10; 100; 1000 ]
+    [ 1.; 25.; 50.; 100.; 200.; 300.; 400.; 600. ];
+
+  (* Figures 2-3: shifted exponential x0=100, lambda=1/1000. *)
+  let expo = Exponential.shifted ~x0:100. ~rate:0.001 in
+  print_gallery "Figure 2: shifted exponential, min-distributions" expo
+    [ 2; 4; 8 ]
+    [ 100.5; 200.; 400.; 800.; 1600.; 3200. ];
+  let cores = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ] in
+  let curve = Lv_core.Speedup.exponential_curve ~x0:100. ~rate:0.001 ~cores in
+  print_string
+    (Lv_core.Report.speedup_series
+       ~title:"Figure 3: predicted speed-up, shifted exponential (limit 11)" curve);
+
+  (* Figures 4-5: lognormal mu=5 sigma=1. *)
+  let logn = Lognormal.create ~mu:5. ~sigma:1. in
+  print_gallery "Figure 4: lognormal, min-distributions" logn
+    [ 2; 4; 8 ]
+    [ 10.; 25.; 50.; 100.; 150.; 250.; 400.; 800. ];
+  let curve = Lv_core.Speedup.curve logn ~cores in
+  print_string
+    (Lv_core.Report.speedup_series ~title:"Figure 5: predicted speed-up, lognormal" curve);
+  Format.printf "lognormal tangent at origin (approx): %.3f@."
+    (Lv_core.Speedup.tangent_at_origin logn)

@@ -1,0 +1,62 @@
+(* The paper's future-work idea, end to end: learn the runtime-distribution
+   shape on *small* instances, extrapolate its parameters in the instance
+   size, and predict the parallel speed-up of a *larger* instance without
+   ever running it at scale — then check against a real campaign at the
+   target size.
+
+   Run with: dune exec examples/size_extrapolation.exe *)
+
+let cores = [ 16; 32; 64; 128; 256 ]
+
+let campaign size runs =
+  let params = Lv_problems.Defaults.params "costas-array" size in
+  let c =
+    Lv_multiwalk.Campaign.run ~params
+      ~label:(Printf.sprintf "costas-%d" size)
+      ~seed:(9000 + size) ~runs
+      (fun () -> Lv_problems.Costas.pack size)
+  in
+  c.Lv_multiwalk.Campaign.iterations
+
+let () =
+  (* Train on Costas 9-12, target Costas 13. *)
+  let train_sizes = [ 9; 10; 11; 12 ] in
+  let target = 13 in
+  Format.printf "training campaigns (Costas %s), 250 runs each...@."
+    (String.concat ", " (List.map string_of_int train_sizes));
+  let observations =
+    List.map
+      (fun size -> { Lv_core.Extrapolate.size; dataset = campaign size 250 })
+      train_sizes
+  in
+  List.iter
+    (fun o ->
+      Format.printf "  size %2d: %a@." o.Lv_core.Extrapolate.size
+        Lv_stats.Summary.pp
+        (Lv_multiwalk.Dataset.summary o.Lv_core.Extrapolate.dataset))
+    observations;
+
+  match Lv_core.Extrapolate.predict ~target_size:target ~cores observations with
+  | Error e -> Format.printf "extrapolation failed: %s@." e
+  | Ok prediction ->
+    Format.printf "@.%a@.@." Lv_core.Extrapolate.pp_prediction prediction;
+    (* Ground truth: actually run the target size. *)
+    Format.printf "validation campaign at size %d...@." target;
+    let ds = campaign target 250 in
+    Format.printf "  %a@." Lv_stats.Summary.pp (Lv_multiwalk.Dataset.summary ds);
+    let measured =
+      Lv_multiwalk.Sim.table ds ~cores
+      |> List.map (fun r -> (r.Lv_multiwalk.Sim.cores, r.Lv_multiwalk.Sim.speedup))
+    in
+    let as_prediction =
+      Lv_core.Predict.of_distribution
+        ~label:(Printf.sprintf "costas-%d extrapolated" target)
+        ~cores prediction.Lv_core.Extrapolate.law
+    in
+    Format.printf "%a@." Lv_core.Predict.pp_comparison
+      (Lv_core.Predict.compare as_prediction ~measured);
+    Format.printf
+      "(predicted from sizes %s only; the size-%d instance was never used for \
+       fitting)@."
+      (String.concat "," (List.map string_of_int train_sizes))
+      target

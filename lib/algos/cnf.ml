@@ -1,0 +1,78 @@
+type t = { n_vars : int; clauses : int array array }
+
+let lit_var lit = abs lit - 1
+let lit_positive lit = lit > 0
+
+let create ~n_vars clauses =
+  if n_vars <= 0 then invalid_arg "Cnf.create: n_vars must be positive";
+  Array.iter
+    (fun clause ->
+      if Array.length clause = 0 then invalid_arg "Cnf.create: empty clause";
+      Array.iter
+        (fun lit ->
+          if lit = 0 || abs lit > n_vars then
+            invalid_arg (Printf.sprintf "Cnf.create: literal %d out of range" lit))
+        clause)
+    clauses;
+  { n_vars; clauses = Array.map Array.copy clauses }
+
+let n_clauses t = Array.length t.clauses
+
+let lit_satisfied lit assignment =
+  if lit > 0 then assignment.(lit - 1) else not assignment.(-lit - 1)
+
+let clause_satisfied clause assignment =
+  Array.exists (fun lit -> lit_satisfied lit assignment) clause
+
+let count_satisfied t assignment =
+  Array.fold_left
+    (fun acc clause -> if clause_satisfied clause assignment then acc + 1 else acc)
+    0 t.clauses
+
+let satisfies t assignment = count_satisfied t assignment = n_clauses t
+
+let to_dimacs t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" t.n_vars (n_clauses t));
+  Array.iter
+    (fun clause ->
+      Array.iter (fun lit -> Buffer.add_string buf (string_of_int lit ^ " ")) clause;
+      Buffer.add_string buf "0\n")
+    t.clauses;
+  Buffer.contents buf
+
+let of_dimacs text =
+  let n_vars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if String.length line = 0 || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match
+          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+        with
+        | [ "p"; "cnf"; v; _c ] -> (
+          match int_of_string_opt v with
+          | Some n when n > 0 -> n_vars := n
+          | _ -> invalid_arg "Cnf.of_dimacs: bad problem line")
+        | _ -> invalid_arg "Cnf.of_dimacs: bad problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (fun s -> s <> "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | Some 0 ->
+                 if !current <> [] then begin
+                   clauses := Array.of_list (List.rev !current) :: !clauses;
+                   current := []
+                 end
+               | Some lit -> current := lit :: !current
+               | None -> invalid_arg "Cnf.of_dimacs: bad literal"))
+    lines;
+  if !current <> [] then clauses := Array.of_list (List.rev !current) :: !clauses;
+  if !n_vars = 0 then invalid_arg "Cnf.of_dimacs: missing problem line";
+  create ~n_vars:!n_vars (Array.of_list (List.rev !clauses))

@@ -1,0 +1,38 @@
+(** CNF formulas for the SAT substrate.
+
+    Variables are numbered [0 .. n_vars-1]; a literal is encoded as the
+    integer [v + 1] (positive occurrence) or [-(v + 1)] (negative), the
+    DIMACS convention shifted to 0-based variables. *)
+
+type t = {
+  n_vars : int;
+  clauses : int array array;  (** each clause a nonempty array of literals *)
+}
+
+val create : n_vars:int -> int array array -> t
+(** Validates every literal ([1 <= |lit| <= n_vars], no empty clause).
+    Clause arrays are copied. *)
+
+val n_clauses : t -> int
+
+val lit_var : int -> int
+(** Variable index of a literal. *)
+
+val lit_positive : int -> bool
+
+val lit_satisfied : int -> bool array -> bool
+(** Is the literal true under the assignment? *)
+
+val clause_satisfied : int array -> bool array -> bool
+
+val count_satisfied : t -> bool array -> int
+(** Number of satisfied clauses. *)
+
+val satisfies : t -> bool array -> bool
+
+val to_dimacs : t -> string
+(** DIMACS CNF text ("p cnf <vars> <clauses>" + clause lines). *)
+
+val of_dimacs : string -> t
+(** Parse DIMACS CNF text (comments and the problem line handled; clauses
+    terminated by 0).  Raises [Invalid_argument] on malformed input. *)

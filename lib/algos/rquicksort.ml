@@ -1,0 +1,41 @@
+let sort ~rng a =
+  let comparisons = ref 0 in
+  (* Hoare-style partition around a uniformly random pivot. *)
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec go lo hi =
+    if hi - lo >= 1 then begin
+      let p = lo + Lv_stats.Rng.int rng (hi - lo + 1) in
+      swap p hi;
+      let pivot = a.(hi) in
+      let store = ref lo in
+      for i = lo to hi - 1 do
+        incr comparisons;
+        if a.(i) < pivot then begin
+          swap i !store;
+          incr store
+        end
+      done;
+      swap !store hi;
+      go lo (!store - 1);
+      go (!store + 1) hi
+    end
+  in
+  go 0 (Array.length a - 1);
+  !comparisons
+
+let comparisons_on_random_permutation ~rng n =
+  if n <= 0 then invalid_arg "Rquicksort: n must be positive";
+  let a = Lv_stats.Rng.permutation rng n in
+  sort ~rng a
+
+let expected_comparisons n =
+  if n <= 0 then invalid_arg "Rquicksort.expected_comparisons: n must be positive";
+  let h = ref 0. in
+  for i = 1 to n do
+    h := !h +. (1. /. float_of_int i)
+  done;
+  (2. *. float_of_int (n + 1) *. !h) -. (4. *. float_of_int n)

@@ -1,0 +1,20 @@
+(** Randomized quicksort, instrumented to count comparisons — the other
+    "randomized algorithm (e.g. quick sort)" the paper's conclusion proposes
+    to analyze.
+
+    Its runtime (comparisons) is a random variable with mean ~2 n ln n but a
+    *relative* spread that vanishes as n grows (σ/μ → 0), so the multi-walk
+    transform buys almost nothing: a useful negative control next to the
+    heavy-tailed local-search runtimes. *)
+
+val sort : rng:Lv_stats.Rng.t -> 'a array -> int
+(** Sort the array in place with uniformly random pivots; returns the number
+    of comparisons performed. *)
+
+val comparisons_on_random_permutation : rng:Lv_stats.Rng.t -> int -> int
+(** Comparisons used to sort one fresh uniform permutation of size [n] —
+    one Las Vegas observation. *)
+
+val expected_comparisons : int -> float
+(** The classical closed form [2 (n+1) H_n - 4 n] (H_n the harmonic number),
+    used as a test oracle and a sanity line in reports. *)

@@ -1,0 +1,46 @@
+let distinct_vars rng n_vars k buf =
+  (* Rejection sampling of k distinct variables into buf. *)
+  let filled = ref 0 in
+  while !filled < k do
+    let v = Lv_stats.Rng.int rng n_vars in
+    let dup = ref false in
+    for s = 0 to !filled - 1 do
+      if buf.(s) = v then dup := true
+    done;
+    if not !dup then begin
+      buf.(!filled) <- v;
+      incr filled
+    end
+  done
+
+let random_clause rng n_vars k buf =
+  distinct_vars rng n_vars k buf;
+  Array.init k (fun s ->
+      let v = buf.(s) + 1 in
+      if Lv_stats.Rng.uniform rng < 0.5 then v else -v)
+
+let random_ksat ~rng ~n_vars ~n_clauses ~k =
+  if k <= 0 || k > n_vars then invalid_arg "Sat_gen.random_ksat: need 0 < k <= n_vars";
+  if n_clauses <= 0 then invalid_arg "Sat_gen.random_ksat: n_clauses must be positive";
+  let buf = Array.make k 0 in
+  Cnf.create ~n_vars (Array.init n_clauses (fun _ -> random_clause rng n_vars k buf))
+
+let random_3sat_at_ratio ~rng ~n_vars ~ratio =
+  if ratio <= 0. then invalid_arg "Sat_gen.random_3sat_at_ratio: ratio must be positive";
+  let n_clauses = Int.max 1 (int_of_float (Float.round (ratio *. float_of_int n_vars))) in
+  random_ksat ~rng ~n_vars ~n_clauses ~k:3
+
+let planted_3sat ~rng ~n_vars ~n_clauses =
+  if n_vars < 3 then invalid_arg "Sat_gen.planted_3sat: need at least 3 variables";
+  if n_clauses <= 0 then invalid_arg "Sat_gen.planted_3sat: n_clauses must be positive";
+  let hidden = Array.init n_vars (fun _ -> Lv_stats.Rng.uniform rng < 0.5) in
+  let buf = Array.make 3 0 in
+  let clauses =
+    Array.init n_clauses (fun _ ->
+        let rec draw () =
+          let clause = random_clause rng n_vars 3 buf in
+          if Cnf.clause_satisfied clause hidden then clause else draw ()
+        in
+        draw ())
+  in
+  (Cnf.create ~n_vars clauses, hidden)

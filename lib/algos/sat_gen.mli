@@ -1,0 +1,22 @@
+(** Random k-SAT instance generation.
+
+    Uniform random k-SAT draws each clause as k distinct variables with
+    random polarities.  For 3-SAT the satisfiability phase transition sits
+    near clause/variable ratio 4.27; hard satisfiable specimens for local
+    search live just below it. *)
+
+val random_ksat :
+  rng:Lv_stats.Rng.t -> n_vars:int -> n_clauses:int -> k:int -> Cnf.t
+(** Uniform random k-SAT; clauses have [k] distinct variables, duplicate
+    clauses allowed (as in the standard model). *)
+
+val random_3sat_at_ratio :
+  rng:Lv_stats.Rng.t -> n_vars:int -> ratio:float -> Cnf.t
+(** [n_clauses = round (ratio * n_vars)], [k = 3]. *)
+
+val planted_3sat :
+  rng:Lv_stats.Rng.t -> n_vars:int -> n_clauses:int -> Cnf.t * bool array
+(** Planted-solution 3-SAT: draws a hidden assignment and only keeps
+    clauses it satisfies, so the instance is satisfiable by construction —
+    the right specimen for Las Vegas runtime campaigns (WalkSAT always
+    terminates).  Returns the instance and the planted assignment. *)

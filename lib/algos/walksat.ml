@@ -1,0 +1,172 @@
+type params = { noise : float; max_flips : int; max_tries : int }
+
+let default_params = { noise = 0.5; max_flips = max_int; max_tries = 1 }
+
+type result = {
+  solved : bool;
+  assignment : bool array;
+  flips : int;
+  tries : int;
+}
+
+(* Solver state for one formula, reused across tries. *)
+type state = {
+  cnf : Cnf.t;
+  assignment : bool array;
+  true_count : int array;      (* satisfied literals per clause *)
+  occurrences : int array array;  (* clause indices containing each variable *)
+  unsat : int array;           (* stack of unsatisfied clause indices *)
+  mutable n_unsat : int;
+  unsat_pos : int array;       (* position of each clause in [unsat], -1 if absent *)
+}
+
+let make_state cnf =
+  let n_clauses = Cnf.n_clauses cnf in
+  let occ_count = Array.make cnf.Cnf.n_vars 0 in
+  Array.iter
+    (fun clause ->
+      Array.iter (fun lit -> let v = Cnf.lit_var lit in occ_count.(v) <- occ_count.(v) + 1) clause)
+    cnf.Cnf.clauses;
+  let occurrences = Array.map (fun c -> Array.make c 0) occ_count in
+  let fill = Array.make cnf.Cnf.n_vars 0 in
+  Array.iteri
+    (fun ci clause ->
+      Array.iter
+        (fun lit ->
+          let v = Cnf.lit_var lit in
+          occurrences.(v).(fill.(v)) <- ci;
+          fill.(v) <- fill.(v) + 1)
+        clause)
+    cnf.Cnf.clauses;
+  {
+    cnf;
+    assignment = Array.make cnf.Cnf.n_vars false;
+    true_count = Array.make n_clauses 0;
+    occurrences;
+    unsat = Array.make n_clauses 0;
+    n_unsat = 0;
+    unsat_pos = Array.make n_clauses (-1);
+  }
+
+let push_unsat st ci =
+  st.unsat.(st.n_unsat) <- ci;
+  st.unsat_pos.(ci) <- st.n_unsat;
+  st.n_unsat <- st.n_unsat + 1
+
+let remove_unsat st ci =
+  let pos = st.unsat_pos.(ci) in
+  let last = st.n_unsat - 1 in
+  let moved = st.unsat.(last) in
+  st.unsat.(pos) <- moved;
+  st.unsat_pos.(moved) <- pos;
+  st.unsat_pos.(ci) <- -1;
+  st.n_unsat <- last
+
+let initialize st rng =
+  for v = 0 to st.cnf.Cnf.n_vars - 1 do
+    st.assignment.(v) <- Lv_stats.Rng.uniform rng < 0.5
+  done;
+  st.n_unsat <- 0;
+  Array.fill st.unsat_pos 0 (Array.length st.unsat_pos) (-1);
+  Array.iteri
+    (fun ci clause ->
+      let c = ref 0 in
+      Array.iter (fun lit -> if Cnf.lit_satisfied lit st.assignment then incr c) clause;
+      st.true_count.(ci) <- !c;
+      if !c = 0 then push_unsat st ci)
+    st.cnf.Cnf.clauses
+
+(* Flip variable v, updating true counts and the unsatisfied set. *)
+let flip st v =
+  st.assignment.(v) <- not st.assignment.(v);
+  Array.iter
+    (fun ci ->
+      (* Recover this clause's literal of v to know the direction. *)
+      let clause = st.cnf.Cnf.clauses.(ci) in
+      let lit = ref 0 in
+      Array.iter (fun l -> if Cnf.lit_var l = v then lit := l) clause;
+      if Cnf.lit_satisfied !lit st.assignment then begin
+        (* v's literal just became true. *)
+        st.true_count.(ci) <- st.true_count.(ci) + 1;
+        if st.true_count.(ci) = 1 then remove_unsat st ci
+      end
+      else begin
+        st.true_count.(ci) <- st.true_count.(ci) - 1;
+        if st.true_count.(ci) = 0 then push_unsat st ci
+      end)
+    st.occurrences.(v)
+
+(* Break count of flipping v: clauses currently satisfied only by v's
+   literal. *)
+let break_count st v =
+  let breaks = ref 0 in
+  Array.iter
+    (fun ci ->
+      if st.true_count.(ci) = 1 then begin
+        (* Broken iff the single true literal is v's. *)
+        let clause = st.cnf.Cnf.clauses.(ci) in
+        let v_true = ref false in
+        Array.iter
+          (fun l -> if Cnf.lit_var l = v && Cnf.lit_satisfied l st.assignment then v_true := true)
+          clause;
+        if !v_true then incr breaks
+      end)
+    st.occurrences.(v);
+  !breaks
+
+let pick_variable st rng noise clause =
+  if Lv_stats.Rng.uniform rng < noise then
+    Cnf.lit_var clause.(Lv_stats.Rng.int rng (Array.length clause))
+  else begin
+    (* Min break count, ties broken uniformly (reservoir over ties). *)
+    let best = ref max_int and chosen = ref 0 and ties = ref 0 in
+    Array.iter
+      (fun lit ->
+        let v = Cnf.lit_var lit in
+        let b = break_count st v in
+        if b < !best then begin
+          best := b;
+          chosen := v;
+          ties := 1
+        end
+        else if b = !best then begin
+          incr ties;
+          if Lv_stats.Rng.int rng !ties = 0 then chosen := v
+        end)
+      clause;
+    !chosen
+  end
+
+let solve ?(params = default_params) ?(stop = fun () -> false) ~rng cnf =
+  if not (params.noise >= 0. && params.noise <= 1.) then
+    invalid_arg "Walksat.solve: noise must lie in [0, 1]";
+  if params.max_flips <= 0 || params.max_tries <= 0 then
+    invalid_arg "Walksat.solve: budgets must be positive";
+  let st = make_state cnf in
+  let total_flips = ref 0 in
+  let tries = ref 0 in
+  let solved = ref false in
+  let aborted = ref false in
+  while (not !solved) && (not !aborted) && !tries < params.max_tries do
+    incr tries;
+    initialize st rng;
+    let flips_this_try = ref 0 in
+    while
+      (not !aborted) && st.n_unsat > 0 && !flips_this_try < params.max_flips
+    do
+      let clause_idx = st.unsat.(Lv_stats.Rng.int rng st.n_unsat) in
+      let clause = cnf.Cnf.clauses.(clause_idx) in
+      let v = pick_variable st rng params.noise clause in
+      flip st v;
+      incr flips_this_try;
+      incr total_flips;
+      if !total_flips land 1023 = 0 && stop () then aborted := true
+    done;
+    if st.n_unsat = 0 then solved := true
+  done;
+  {
+    solved = !solved;
+    assignment = Array.copy st.assignment;
+    flips = !total_flips;
+    tries = !tries;
+  }

@@ -1,0 +1,35 @@
+(** WalkSAT (Selman, Kautz & Cohen) — the classic Las Vegas SAT local
+    search, here as a second specimen for the speed-up prediction pipeline
+    (the paper's conclusion names SAT solvers as the next target; SAT
+    portfolios are the multi-walk of that community).
+
+    Each flip: pick a random unsatisfied clause; with probability [noise]
+    flip a random variable of it, otherwise flip the variable with the
+    lowest break count (the number of clauses that flip would newly
+    falsify), with free moves (break 0) taken greedily.  Incremental
+    bookkeeping keeps per-clause true-literal counts and per-variable
+    occurrence lists, so a flip costs O(occurrences). *)
+
+type params = {
+  noise : float;        (** random-walk probability, default 0.5 *)
+  max_flips : int;      (** per-try budget, default [max_int] *)
+  max_tries : int;      (** restarts from fresh assignments, default 1 *)
+}
+
+val default_params : params
+
+type result = {
+  solved : bool;
+  assignment : bool array;  (** satisfying iff [solved] *)
+  flips : int;              (** total flips across tries — the runtime metric *)
+  tries : int;
+}
+
+val solve :
+  ?params:params ->
+  ?stop:(unit -> bool) ->
+  rng:Lv_stats.Rng.t ->
+  Cnf.t ->
+  result
+(** Run WalkSAT.  [stop] is polled every 1024 flips, as in
+    {!Lv_search.Adaptive_search}. *)

@@ -1,0 +1,146 @@
+open Lv_stats
+
+type candidate =
+  | Exponential
+  | Shifted_exponential
+  | Lognormal
+  | Shifted_lognormal
+  | Normal
+  | Weibull
+  | Gamma
+  | Levy
+
+let all_candidates =
+  [ Exponential; Shifted_exponential; Lognormal; Shifted_lognormal; Normal;
+    Weibull; Gamma; Levy ]
+
+let paper_candidates =
+  [ Exponential; Shifted_exponential; Lognormal; Shifted_lognormal; Normal; Levy ]
+
+let candidate_name = function
+  | Exponential -> "exponential"
+  | Shifted_exponential -> "shifted-exponential"
+  | Lognormal -> "lognormal"
+  | Shifted_lognormal -> "shifted-lognormal"
+  | Normal -> "normal"
+  | Weibull -> "weibull"
+  | Gamma -> "gamma"
+  | Levy -> "levy"
+
+let candidate_of_string s =
+  List.find_opt (fun c -> candidate_name c = s) all_candidates
+
+let instantiate candidate params =
+  let get name =
+    match List.assoc_opt name params with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Fit.instantiate: missing parameter %S for %s" name
+           (candidate_name candidate))
+  in
+  let shift () = Option.value (List.assoc_opt "x0" params) ~default:0. in
+  match candidate with
+  | Exponential -> Lv_stats.Exponential.create ~rate:(get "lambda")
+  | Shifted_exponential ->
+    Lv_stats.Exponential.shifted ~x0:(shift ()) ~rate:(get "lambda")
+  | Lognormal -> Lv_stats.Lognormal.create ~mu:(get "mu") ~sigma:(get "sigma")
+  | Shifted_lognormal ->
+    Lv_stats.Lognormal.shifted ~x0:(shift ()) ~mu:(get "mu") ~sigma:(get "sigma")
+  | Normal -> Lv_stats.Normal.create ~mu:(get "mu") ~sigma:(get "sigma")
+  | Weibull -> Lv_stats.Weibull.create ~shape:(get "shape") ~scale:(get "scale")
+  | Gamma -> Lv_stats.Gamma_dist.create ~shape:(get "shape") ~rate:(get "rate")
+  | Levy -> Lv_stats.Levy.create ~scale:(get "c")
+
+type fitted = {
+  candidate : candidate;
+  dist : Distribution.t;
+  ks : Kolmogorov.result;
+}
+
+type report = {
+  sample_size : int;
+  fits : fitted list;
+  accepted : fitted list;
+  best : fitted option;
+}
+
+let estimator = function
+  | Exponential -> Mle.exponential
+  | Shifted_exponential -> Mle.shifted_exponential ?bias_correct:None
+  | Lognormal -> Mle.lognormal
+  | Shifted_lognormal -> Mle.shifted_lognormal ?shift_fraction:None
+  | Normal -> Mle.normal
+  | Weibull -> Mle.weibull ?tol:None ?max_iter:None
+  | Gamma -> Mle.gamma
+  | Levy -> Mle.levy
+
+let fit_one ?alpha candidate xs =
+  match (estimator candidate) xs with
+  | dist ->
+    let ks = Kolmogorov.test ?alpha xs dist.Distribution.cdf in
+    Some { candidate; dist; ks }
+  | exception Invalid_argument _ -> None
+
+let fit ?alpha ?(candidates = all_candidates) xs =
+  if Array.length xs = 0 then invalid_arg "Fit.fit: empty sample";
+  let fits = List.filter_map (fun c -> fit_one ?alpha c xs) candidates in
+  (* Two candidates can estimate the same law (e.g. a shifted lognormal whose
+     best shift is 0); keep the first occurrence only. *)
+  let fits =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun f ->
+        let key =
+          (f.dist.Distribution.name, f.dist.Distribution.params)
+        in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      fits
+  in
+  let fits =
+    List.sort
+      (fun a b -> compare b.ks.Kolmogorov.p_value a.ks.Kolmogorov.p_value)
+      fits
+  in
+  let accepted = List.filter (fun f -> f.ks.Kolmogorov.accept) fits in
+  (* Best = highest p-value among the accepted, except that a shifted
+     family is preferred over its unshifted special case when both pass:
+     the shift only matters in the lower tail — exactly where the
+     multi-walk minimum lives — and the KS statistic barely sees it, so the
+     p-value ordering between the pair is a coin toss while the speed-up
+     predictions can differ wildly. *)
+  let best =
+    match accepted with
+    | [] -> None
+    | top :: _ ->
+      let find c = List.find_opt (fun f -> f.candidate = c) accepted in
+      let upgrade base shifted =
+        if top.candidate = base then
+          match find shifted with Some f -> f | None -> top
+        else top
+      in
+      (match top.candidate with
+      | Exponential -> Some (upgrade Exponential Shifted_exponential)
+      | Lognormal -> Some (upgrade Lognormal Shifted_lognormal)
+      | _ -> Some top)
+  in
+  { sample_size = Array.length xs; fits; accepted; best }
+
+let pp_fitted ppf f =
+  Format.fprintf ppf "%-36s %a"
+    (Distribution.to_string f.dist)
+    Kolmogorov.pp_result f.ks
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>fits on %d observations:@," r.sample_size;
+  List.iter (fun f -> Format.fprintf ppf "  %a@," pp_fitted f) r.fits;
+  (match r.best with
+  | Some f ->
+    Format.fprintf ppf "best: %s (p=%.4f)" (candidate_name f.candidate)
+      f.ks.Kolmogorov.p_value
+  | None -> Format.fprintf ppf "best: none accepted");
+  Format.fprintf ppf "@]"

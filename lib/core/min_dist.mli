@@ -1,0 +1,24 @@
+(** The multi-walk transform (paper Section 3.1): from the runtime law [Y] of
+    one walker to the law of [Z^(n) = min(X_1, ..., X_n)], [X_i ~ Y] i.i.d.:
+
+    [F_Z(x) = 1 - (1 - F_Y(x))^n]
+    [f_Z(x) = n f_Y(x) (1 - F_Y(x))^(n-1)]
+
+    Expectations use the closed form for (shifted) exponential laws and the
+    order-statistics quadrature otherwise. *)
+
+val cdf : Lv_stats.Distribution.t -> n:int -> float -> float
+val pdf : Lv_stats.Distribution.t -> n:int -> float -> float
+
+val distribution : Lv_stats.Distribution.t -> n:int -> Lv_stats.Distribution.t
+(** The full law of [Z^(n)] as a first-class distribution (quantile
+    [F⁻¹(1 - (1-p)^(1/n))], sampling by racing [n] draws). *)
+
+val expectation : Lv_stats.Distribution.t -> n:int -> float
+(** [E[Z^(n)]].  Detects the exponential family by name and uses
+    [x0 + 1/(nλ)]; anything else goes through
+    {!Lv_stats.Order_stats.expected_min}. *)
+
+val exponential_params : Lv_stats.Distribution.t -> (float * float) option
+(** [(x0, λ)] when the distribution is a (shifted) exponential, else
+    [None]. *)

@@ -1,0 +1,60 @@
+type benchmark = MS200 | AI700 | Costas21
+
+let benchmarks = [ MS200; AI700; Costas21 ]
+
+let benchmark_name = function
+  | MS200 -> "MS 200"
+  | AI700 -> "AI 700"
+  | Costas21 -> "Costas 21"
+
+type seq_stats = { min : float; mean : float; median : float; max : float }
+
+let table1_seconds = function
+  | MS200 -> { min = 5.51; mean = 382.0; median = 126.3; max = 7441.6 }
+  | AI700 -> { min = 23.25; mean = 1354.0; median = 945.4; max = 10243.4 }
+  | Costas21 -> { min = 6.55; mean = 3744.4; median = 2457.4; max = 19972.0 }
+
+let table2_iterations = function
+  | MS200 -> { min = 6_210.; mean = 443_969.; median = 164_042.; max = 7_895_872. }
+  | AI700 -> { min = 1_217.; mean = 110_393.; median = 76_242.; max = 826_871. }
+  | Costas21 ->
+    { min = 321_361.; mean = 183_428_617.; median = 119_667_588.; max = 977_709_115. }
+
+let cores = [ 16; 32; 64; 128; 256 ]
+
+let table3_speedups_time = function
+  | MS200 -> List.combine cores [ 18.3; 24.5; 32.3; 37.0; 47.8 ]
+  | AI700 -> List.combine cores [ 12.9; 19.3; 30.6; 39.2; 45.5 ]
+  | Costas21 -> List.combine cores [ 15.7; 26.4; 59.8; 154.5; 274.8 ]
+
+let table4_speedups_iterations = function
+  | MS200 -> List.combine cores [ 16.6; 22.2; 29.9; 34.3; 45.0 ]
+  | AI700 -> List.combine cores [ 12.8; 20.2; 29.3; 37.3; 48.0 ]
+  | Costas21 -> List.combine cores [ 15.8; 26.4; 60.0; 159.2; 290.5 ]
+
+let fitted_law = function
+  | MS200 -> Lv_stats.Lognormal.shifted ~x0:6210. ~mu:12.0275 ~sigma:1.3398
+  | AI700 -> Lv_stats.Exponential.shifted ~x0:1217. ~rate:9.15956e-6
+  | Costas21 -> Lv_stats.Exponential.create ~rate:5.4e-9
+
+let fitted_p_value = function
+  | MS200 -> None
+  | AI700 -> Some 0.77435
+  | Costas21 -> Some 0.751915
+
+let predicted_limit = function
+  | MS200 -> Some 71.5
+  | AI700 -> Some 90.7087
+  | Costas21 -> None
+
+let table5_predicted = function
+  | MS200 -> List.combine cores [ 15.94; 22.04; 28.28; 34.26; 39.7 ]
+  | AI700 -> List.combine cores [ 13.7; 23.8; 37.8; 53.3; 67.2 ]
+  | Costas21 -> List.combine cores [ 16.0; 32.0; 64.0; 128.0; 256.0 ]
+
+let table5_experimental = table4_speedups_iterations
+
+let fig2_exponential = Lv_stats.Exponential.shifted ~x0:100. ~rate:0.001
+let fig4_lognormal = Lv_stats.Lognormal.create ~mu:5. ~sigma:1.
+
+let fig14_cores = [ 16; 32; 64; 128; 256; 512; 1024; 2048; 4096; 8192 ]

@@ -1,0 +1,56 @@
+(** The paper's published numbers (Truchet, Richoux & Codognet, ICPP 2013),
+    transcribed as data: Tables 1–5, the fitted distribution parameters of
+    Section 6, and the synthetic-figure parameters of Section 3.  Benches
+    print these next to the reproduction's measurements. *)
+
+type benchmark = MS200 | AI700 | Costas21
+
+val benchmarks : benchmark list
+val benchmark_name : benchmark -> string
+
+(** {1 Table 1 / Table 2 — sequential statistics} *)
+
+type seq_stats = { min : float; mean : float; median : float; max : float }
+
+val table1_seconds : benchmark -> seq_stats
+val table2_iterations : benchmark -> seq_stats
+
+(** {1 Tables 3 / 4 — measured parallel speed-ups} *)
+
+val cores : int list
+(** The paper's core counts: 16, 32, 64, 128, 256. *)
+
+val table3_speedups_time : benchmark -> (int * float) list
+val table4_speedups_iterations : benchmark -> (int * float) list
+
+(** {1 Section 6 — fitted runtime laws (iteration metric)} *)
+
+val fitted_law : benchmark -> Lv_stats.Distribution.t
+(** AI 700: shifted exponential (x0 = 1217, λ = 9.15956e-6);
+    MS 200: shifted lognormal (x0 = 6210, μ = 12.0275, σ = 1.3398);
+    Costas 21: exponential (λ = 5.4e-9). *)
+
+val fitted_p_value : benchmark -> float option
+(** KS p-values the paper reports (AI 700: 0.77435, Costas 21: 0.751915;
+    the MS 200 p-value is not printed in the paper). *)
+
+val predicted_limit : benchmark -> float option
+(** Speed-up limits the paper states: AI 700 → 90.7087, MS 200 → ~71.5
+    (the paper's text; from its own parameters the mean/x0 ratio is 67.1),
+    Costas 21 → none (linear). *)
+
+(** {1 Table 5 — predicted vs experimental} *)
+
+val table5_predicted : benchmark -> (int * float) list
+val table5_experimental : benchmark -> (int * float) list
+
+(** {1 Section 3 figure parameters} *)
+
+val fig2_exponential : Lv_stats.Distribution.t
+(** Shifted exponential, x0 = 100, λ = 1/1000 (Figures 2 and 3). *)
+
+val fig4_lognormal : Lv_stats.Distribution.t
+(** Lognormal, μ = 5, σ = 1 (Figures 4 and 5). *)
+
+val fig14_cores : int list
+(** Core counts of the 8,192-core Costas scaling figure. *)

@@ -1,0 +1,71 @@
+type prediction = {
+  label : string;
+  fit : Fit.report;
+  law : Lv_stats.Distribution.t;
+  curve : Speedup.point list;
+  limit : float;
+}
+
+let of_fit ~label ~cores (report : Fit.report) law =
+  {
+    label;
+    fit = report;
+    law;
+    curve = Speedup.curve law ~cores;
+    limit = Speedup.limit law;
+  }
+
+let of_dataset ?alpha ?candidates ~cores (ds : Lv_multiwalk.Dataset.t) =
+  let report = Fit.fit ?alpha ?candidates ds.Lv_multiwalk.Dataset.values in
+  let chosen =
+    match (report.Fit.best, report.Fit.fits) with
+    | Some f, _ -> f
+    | None, f :: _ -> f
+    | None, [] -> invalid_arg "Predict.of_dataset: no candidate could be fitted"
+  in
+  of_fit ~label:ds.Lv_multiwalk.Dataset.label ~cores report chosen.Fit.dist
+
+let of_distribution ~label ~cores law =
+  let empty_report = { Fit.sample_size = 0; fits = []; accepted = []; best = None } in
+  of_fit ~label ~cores empty_report law
+
+type comparison_row = {
+  cores : int;
+  predicted : float;
+  measured : float;
+  relative_error : float;
+}
+
+let compare p ~measured =
+  List.filter_map
+    (fun { Speedup.cores; speedup } ->
+      match List.assoc_opt cores measured with
+      | None -> None
+      | Some m ->
+        Some
+          {
+            cores;
+            predicted = speedup;
+            measured = m;
+            relative_error = (speedup -. m) /. m;
+          })
+    p.curve
+
+let max_abs_relative_error rows =
+  List.fold_left (fun acc r -> Float.max acc (abs_float r.relative_error)) 0. rows
+
+let pp_prediction ppf p =
+  Format.fprintf ppf "@[<v>%s: law=%a limit=%s@,curve:" p.label
+    Lv_stats.Distribution.pp p.law
+    (if Float.is_finite p.limit then Printf.sprintf "%.2f" p.limit else "linear (inf)");
+  List.iter (fun pt -> Format.fprintf ppf " %a" Speedup.pp_point pt) p.curve;
+  Format.fprintf ppf "@]"
+
+let pp_comparison ppf rows =
+  Format.fprintf ppf "@[<v>%8s %12s %12s %8s@," "cores" "predicted" "measured" "err%";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%8d %12.2f %12.2f %7.1f%%@," r.cores r.predicted
+        r.measured (100. *. r.relative_error))
+    rows;
+  Format.fprintf ppf "@]"

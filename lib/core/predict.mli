@@ -1,0 +1,43 @@
+(** End-to-end prediction and validation (paper Sections 6–7): observed
+    sequential runtimes → fitted law → predicted speed-up curve, laid side
+    by side with the measured multi-walk speed-ups. *)
+
+type prediction = {
+  label : string;
+  fit : Fit.report;
+  law : Lv_stats.Distribution.t;    (** the law used for prediction *)
+  curve : Speedup.point list;
+  limit : float;                    (** speed-up ceiling; [infinity] if linear *)
+}
+
+val of_dataset :
+  ?alpha:float ->
+  ?candidates:Fit.candidate list ->
+  cores:int list ->
+  Lv_multiwalk.Dataset.t ->
+  prediction
+(** Fit the dataset (keeping the best accepted candidate, or the highest
+    p-value fit when nothing clears [alpha]) and predict speed-ups at
+    [cores]. *)
+
+val of_distribution :
+  label:string -> cores:int list -> Lv_stats.Distribution.t -> prediction
+(** Skip fitting: predict from a known law (used when replaying the paper's
+    published parameters). *)
+
+type comparison_row = {
+  cores : int;
+  predicted : float;
+  measured : float;
+  relative_error : float;  (** (predicted - measured) / measured *)
+}
+
+val compare :
+  prediction -> measured:(int * float) list -> comparison_row list
+(** Join the prediction with measured speed-ups per core count — a Table 5
+    block.  Core counts present on only one side are dropped. *)
+
+val max_abs_relative_error : comparison_row list -> float
+
+val pp_prediction : Format.formatter -> prediction -> unit
+val pp_comparison : Format.formatter -> comparison_row list -> unit

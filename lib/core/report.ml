@@ -1,0 +1,65 @@
+let float_cell ?(decimals = 2) v =
+  if Float.is_nan v then "-"
+  else if Float.is_integer v && abs_float v < 1e7 then
+    Printf.sprintf "%.0f" v
+  else if abs_float v >= 1e6 || (abs_float v < 1e-3 && v <> 0.) then
+    Printf.sprintf "%.4g" v
+  else Printf.sprintf "%.*f" decimals v
+
+let pad width s =
+  let len = String.length s in
+  if len >= width then s else String.make (width - len) ' ' ^ s
+
+let table ~title ~header ~rows =
+  let all = header :: rows in
+  let n_cols = List.fold_left (fun acc r -> Int.max acc (List.length r)) 0 all in
+  let widths = Array.make n_cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- Int.max widths.(i) (String.length cell))
+        row)
+    all;
+  let render_row row =
+    row |> List.mapi (fun i cell -> pad widths.(i) cell) |> String.concat "  "
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let header_line = render_row header in
+  Buffer.add_string buf header_line;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (String.length header_line) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let series ~title ?(y_label = "y") points =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let ymax = List.fold_left (fun acc (_, y) -> Float.max acc y) 0. points in
+  let ymax = if ymax <= 0. then 1. else ymax in
+  List.iter
+    (fun (x, y) ->
+      let bar = int_of_float (50. *. y /. ymax) in
+      Buffer.add_string buf
+        (Printf.sprintf "%12s  %12s %s  %s\n" (float_cell x) (float_cell y)
+           y_label
+           (String.make (Int.max 0 bar) '*')))
+    points;
+  Buffer.contents buf
+
+let speedup_series ~title points =
+  series ~title ~y_label:"speedup"
+    (List.map
+       (fun { Speedup.cores; speedup } -> (float_of_int cores, speedup))
+       points)
+
+let section name =
+  let rule = String.make 72 '=' in
+  Printf.sprintf "\n%s\n== %s\n%s\n" rule name rule

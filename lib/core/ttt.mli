@@ -1,0 +1,21 @@
+(** Time-to-target plots (Aiex, Resende & Ribeiro — the paper's refs [2, 3]),
+    the standard diagnostic behind the exponential-runtime hypothesis the
+    prediction model builds on: plot the sorted runtimes against empirical
+    cumulative probabilities and compare with a fitted law's quantiles.  A
+    straight Q–Q line means the law explains the data. *)
+
+type point = { runtime : float; probability : float }
+
+val points : float array -> point list
+(** Sorted runtimes with plotting positions [p_i = (i - 0.5) / n]. *)
+
+val qq : float array -> Lv_stats.Distribution.t -> (float * float) list
+(** Q–Q pairs: (theoretical quantile at [p_i], observed [t_(i)]). *)
+
+val qq_correlation : float array -> Lv_stats.Distribution.t -> float
+(** Pearson correlation of the Q–Q pairs — a scalar straightness score in
+    [−1, 1]; values near 1 support the fitted law. *)
+
+val render : ?width:int -> float array -> string
+(** ASCII TTT plot: one line per observation decile, cumulative probability
+    as bar length. *)

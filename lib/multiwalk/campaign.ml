@@ -1,0 +1,62 @@
+type result = {
+  observations : Run.observation list;
+  iterations : Dataset.t;
+  seconds : Dataset.t;
+  n_unsolved : int;
+}
+
+let run_fn ?(domains = 1) ?progress ~label ~seed ~runs make_runner =
+  if runs <= 0 then invalid_arg "Campaign.run: runs must be positive";
+  if domains <= 0 then invalid_arg "Campaign.run: domains must be positive";
+  let results = Array.make runs None in
+  let next = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let worker () =
+    let runner = make_runner () in
+    let rec loop () =
+      let r = Atomic.fetch_and_add next 1 in
+      if r < runs then begin
+        let rng = Lv_stats.Rng.create ~seed:(seed + r) in
+        let obs = runner rng in
+        results.(r) <- Some obs;
+        let done_ = Atomic.fetch_and_add completed 1 + 1 in
+        (match progress with Some f -> f done_ | None -> ());
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if domains = 1 then worker ()
+  else begin
+    let spawned =
+      Array.init (domains - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned
+  end;
+  let observations =
+    Array.to_list results
+    |> List.map (function
+         | Some o -> o
+         | None -> assert false (* every index below [runs] was claimed *))
+  in
+  let n_unsolved = List.length (List.filter (fun o -> not o.Run.solved) observations) in
+  if n_unsolved = runs then
+    invalid_arg "Campaign.run: no run solved the instance; raise the budget";
+  {
+    observations;
+    iterations = Dataset.of_observations ~label ~metric:`Iterations observations;
+    seconds = Dataset.of_observations ~label ~metric:`Seconds observations;
+    n_unsolved;
+  }
+
+let censored_iterations result =
+  result.observations
+  |> List.filter_map (fun o ->
+         if o.Run.solved then None else Some (float_of_int o.Run.iterations))
+  |> Array.of_list
+
+let run ?params ?domains ?progress ~label ~seed ~runs make_instance =
+  run_fn ?domains ?progress ~label ~seed ~runs (fun () ->
+      let packed = make_instance () in
+      fun rng -> Run.once ?params ~rng packed)

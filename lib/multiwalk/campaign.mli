@@ -1,0 +1,49 @@
+(** Sequential campaigns: many independent runs of one instance, producing
+    the runtime datasets everything downstream consumes (paper Section 5.4,
+    "about 650 runtimes for each").
+
+    Runs are independent, so campaigns optionally spread across OCaml 5
+    domains — this parallelism only accelerates data *collection*; each
+    observation is still a sequential run. *)
+
+type result = {
+  observations : Run.observation list;
+  iterations : Dataset.t;  (** solved runs, iteration metric *)
+  seconds : Dataset.t;     (** solved runs, wall-time metric *)
+  n_unsolved : int;
+}
+
+val censored_iterations : result -> float array
+(** Iteration counts of the unsolved runs (each ran to its budget): the
+    right-censored observations for
+    {!Lv_stats.Mle.exponential_censored}-style estimators.  Empty when every
+    run solved. *)
+
+val run :
+  ?params:Lv_search.Params.t ->
+  ?domains:int ->
+  ?progress:(int -> unit) ->
+  label:string ->
+  seed:int ->
+  runs:int ->
+  (unit -> Lv_search.Csp.packed) ->
+  result
+(** [run ~label ~seed ~runs make_instance] performs [runs] independent
+    solves.  [make_instance] is called once per worker domain (instances are
+    mutable and must not be shared).  [domains] defaults to 1; [progress] is
+    called with the number of completed runs after each completion.  Seeding
+    is per-run ([seed + run index]), so results do not depend on [domains]. *)
+
+val run_fn :
+  ?domains:int ->
+  ?progress:(int -> unit) ->
+  label:string ->
+  seed:int ->
+  runs:int ->
+  (unit -> Lv_stats.Rng.t -> Run.observation) ->
+  result
+(** Generic campaign over any Las Vegas algorithm: [make_runner ()] is
+    called once per worker domain and must return a function performing one
+    independent run from the given generator (e.g. a WalkSAT solve or a
+    randomized-quicksort measurement).  Same seeding and determinism
+    guarantees as {!run}. *)

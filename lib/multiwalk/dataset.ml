@@ -1,0 +1,65 @@
+type t = { label : string; metric : string; values : float array }
+
+let create ~label ~metric values =
+  if Array.length values = 0 then invalid_arg "Dataset.create: empty dataset";
+  { label; metric; values = Array.copy values }
+
+let of_observations ~label ~metric obs =
+  let solved = List.filter (fun o -> o.Run.solved) obs in
+  let project o =
+    match metric with
+    | `Iterations -> float_of_int o.Run.iterations
+    | `Seconds -> o.Run.seconds
+  in
+  let metric_name = match metric with `Iterations -> "iterations" | `Seconds -> "seconds" in
+  create ~label ~metric:metric_name (Array.of_list (List.map project solved))
+
+let synthetic ~label d ~rng n =
+  if n <= 0 then invalid_arg "Dataset.synthetic: n must be positive";
+  create ~label ~metric:"synthetic" (Lv_stats.Distribution.sample_array d rng n)
+
+let size t = Array.length t.values
+let summary t = Lv_stats.Summary.of_array t.values
+let empirical t = Lv_stats.Empirical.of_array t.values
+
+let save_csv t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# label=%s metric=%s\nindex,value\n" t.label t.metric;
+      Array.iteri (fun i v -> Printf.fprintf oc "%d,%.17g\n" i v) t.values)
+
+let load_csv ?label ?metric path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let values = ref [] in
+      let file_label = ref (Option.value label ~default:(Filename.basename path)) in
+      let file_metric = ref (Option.value metric ~default:"unknown") in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if String.length line = 0 then ()
+           else if line.[0] = '#' then begin
+             (* Recover label/metric from our own header if present. *)
+             String.split_on_char ' ' line
+             |> List.iter (fun tok ->
+                    match String.split_on_char '=' tok with
+                    | [ "label"; v ] when label = None -> file_label := v
+                    | [ "metric"; v ] when metric = None -> file_metric := v
+                    | _ -> ())
+           end
+           else begin
+             match String.split_on_char ',' line with
+             | [ _; v ] | [ v ] ->
+               (match float_of_string_opt v with
+               | Some f -> values := f :: !values
+               | None -> () (* header row *))
+             | _ -> ()
+           end
+         done
+       with End_of_file -> ());
+      create ~label:!file_label ~metric:!file_metric
+        (Array.of_list (List.rev !values)))

@@ -1,0 +1,32 @@
+(** Runtime datasets: named vectors of observations with CSV persistence —
+    the artifact the paper's Section 5 produces ("about 650 runtimes for
+    each" benchmark) and Section 6 consumes. *)
+
+type t = {
+  label : string;            (** e.g. ["costas-17"] *)
+  metric : string;           (** ["iterations"] or ["seconds"] *)
+  values : float array;
+}
+
+val create : label:string -> metric:string -> float array -> t
+(** Raises [Invalid_argument] on an empty vector. *)
+
+val of_observations : label:string -> metric:[ `Iterations | `Seconds ] -> Run.observation list -> t
+(** Project a campaign's observations onto one metric, keeping solved runs
+    only (an unsolved run has no finite runtime). *)
+
+val synthetic : label:string -> Lv_stats.Distribution.t -> rng:Lv_stats.Rng.t -> int -> t
+(** [synthetic ~label d ~rng n] draws [n] i.i.d. runtimes from [d] — the
+    stand-in for the paper's cluster datasets when replaying its published
+    fitted parameters. *)
+
+val size : t -> int
+val summary : t -> Lv_stats.Summary.t
+val empirical : t -> Lv_stats.Empirical.t
+
+val save_csv : t -> string -> unit
+(** Two-column header + rows: [index,value]. *)
+
+val load_csv : ?label:string -> ?metric:string -> string -> t
+(** Reads back files written by {!save_csv} (or any one-value-per-line CSV,
+    ignoring a header line and an optional leading index column). *)

@@ -1,0 +1,62 @@
+type outcome = {
+  walkers : int;
+  winner : int option;
+  seconds : float;
+  min_iterations : int;
+  solved : bool;
+}
+
+let wall_clock ?params ~seed ~walkers make_instance =
+  if walkers <= 0 then invalid_arg "Race.wall_clock: walkers must be positive";
+  let found = Atomic.make (-1) in
+  let t0 = Unix.gettimeofday () in
+  let walker w () =
+    let packed = make_instance () in
+    let rng = Lv_stats.Rng.create ~seed:(seed + w) in
+    let stop () = Atomic.get found >= 0 in
+    let result = Lv_search.Adaptive_search.solve_packed ?params ~stop ~rng packed in
+    if Lv_search.Adaptive_search.solved result then
+      (* First writer wins; later finishers leave the flag alone. *)
+      ignore (Atomic.compare_and_set found (-1) w);
+    Lv_search.Adaptive_search.iterations result
+  in
+  let domains = Array.init walkers (fun w -> Domain.spawn (walker w)) in
+  let iters = Array.map Domain.join domains in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let w = Atomic.get found in
+  if w >= 0 then
+    { walkers; winner = Some w; seconds; min_iterations = iters.(w); solved = true }
+  else
+    {
+      walkers;
+      winner = None;
+      seconds;
+      min_iterations = Array.fold_left Int.min iters.(0) iters;
+      solved = false;
+    }
+
+let iteration_metric ?params ?(domains = 1) ~seed ~walkers make_instance =
+  if walkers <= 0 then invalid_arg "Race.iteration_metric: walkers must be positive";
+  let t0 = Unix.gettimeofday () in
+  let c =
+    Campaign.run ?params ~domains ~label:"race" ~seed ~runs:walkers make_instance
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let best = ref None in
+  List.iteri
+    (fun w o ->
+      if o.Run.solved then
+        match !best with
+        | Some (_, it) when it <= o.Run.iterations -> ()
+        | _ -> best := Some (w, o.Run.iterations))
+    c.Campaign.observations;
+  match !best with
+  | Some (w, it) ->
+    { walkers; winner = Some w; seconds; min_iterations = it; solved = true }
+  | None -> { walkers; winner = None; seconds; min_iterations = 0; solved = false }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "walkers=%d %s winner=%s %.3fs min_iters=%d" o.walkers
+    (if o.solved then "solved" else "unsolved")
+    (match o.winner with Some w -> string_of_int w | None -> "-")
+    o.seconds o.min_iterations

@@ -1,0 +1,16 @@
+type observation = { seconds : float; iterations : int; solved : bool }
+
+let once ?params ~rng packed =
+  let t0 = Unix.gettimeofday () in
+  let result = Lv_search.Adaptive_search.solve_packed ?params ~rng packed in
+  let seconds = Unix.gettimeofday () -. t0 in
+  {
+    seconds;
+    iterations = Lv_search.Adaptive_search.iterations result;
+    solved = Lv_search.Adaptive_search.solved result;
+  }
+
+let pp_observation ppf o =
+  Format.fprintf ppf "%s %.4fs %d iters"
+    (if o.solved then "solved" else "exhausted")
+    o.seconds o.iterations

@@ -1,0 +1,18 @@
+(** One sequential Las Vegas run — the unit of observation for everything
+    else: a (wall-clock seconds, iterations) pair of a single Adaptive
+    Search execution. *)
+
+type observation = {
+  seconds : float;    (** wall-clock time of the run *)
+  iterations : int;   (** solver iterations — the machine-independent metric *)
+  solved : bool;
+}
+
+val once :
+  ?params:Lv_search.Params.t ->
+  rng:Lv_stats.Rng.t ->
+  Lv_search.Csp.packed ->
+  observation
+(** Run the solver once on a fresh random configuration. *)
+
+val pp_observation : Format.formatter -> observation -> unit

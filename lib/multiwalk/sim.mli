@@ -1,0 +1,40 @@
+(** Statistical multi-walk: the cluster experiment replayed from sequential
+    runtime data.
+
+    The independent multi-walk scheme has zero communication, so its runtime
+    on [n] cores is *exactly* the minimum of [n] i.i.d. sequential runtimes.
+    Given a pool of observed runtimes, the expected parallel runtime is the
+    expectation of the minimum of [n] draws — computable in closed form from
+    the sorted pool ({!Lv_stats.Empirical.expected_min_exact}), or by
+    Monte-Carlo resampling when a distribution of outcomes (not just the
+    mean) is wanted.  This module is what stands in for the paper's
+    256-core Grid'5000 runs (Tables 3–4, Figures 6–7 and 14). *)
+
+type row = {
+  cores : int;
+  expected_runtime : float;  (** E[min of [cores] draws] *)
+  speedup : float;           (** mean(pool) / expected_runtime *)
+}
+
+val expected_runtime : Lv_stats.Empirical.t -> cores:int -> float
+(** Exact plug-in [E[Z^(n)]] over the empirical distribution. *)
+
+val speedup : Lv_stats.Empirical.t -> cores:int -> float
+
+val table : Dataset.t -> cores:int list -> row list
+(** One row per core count — the reproduction of a Table 3/4 block. *)
+
+val race_once : Lv_stats.Empirical.t -> rng:Lv_stats.Rng.t -> cores:int -> float
+(** One simulated multi-walk execution: min of [cores] resampled runtimes. *)
+
+val speedup_mc :
+  ?replicates:int ->
+  Lv_stats.Empirical.t ->
+  rng:Lv_stats.Rng.t ->
+  cores:int ->
+  Lv_stats.Bootstrap.interval
+(** Monte-Carlo speed-up with a percentile interval over [replicates]
+    simulated races (default 1000) — matches the paper's protocol of
+    averaging 50 parallel runs, plus the error bar the paper omits. *)
+
+val pp_row : Format.formatter -> row -> unit

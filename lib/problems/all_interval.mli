@@ -1,0 +1,17 @@
+(** ALL-INTERVAL series (CSPLib prob007).
+
+    Find a permutation [(X_0, ..., X_{N-1})] of [{0, ..., N-1}] such that the
+    [N-1] absolute differences [|X_i - X_{i+1}|] are all distinct (hence a
+    permutation of [{1, ..., N-1}]).  Cost counts surplus occurrences of each
+    difference; a variable's error is the surplus carried by its (at most
+    two) adjacent differences. *)
+
+include Lv_search.Csp.PROBLEM
+
+val create : int -> t
+(** [create n] for [n >= 3], initialized with the identity permutation. *)
+
+val pack : int -> Lv_search.Csp.packed
+
+val check : int array -> bool
+(** Standalone checker: is this array an all-interval series? *)

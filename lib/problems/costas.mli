@@ -1,0 +1,18 @@
+(** COSTAS ARRAY.
+
+    An [N × N] grid with one mark per row and column such that the
+    [N(N-1)/2] displacement vectors between marks are pairwise distinct —
+    equivalently, a permutation [X] of [{0, ..., N-1}] whose difference
+    triangle has no repeated entry in any row: for each [d] in [1 .. N-1],
+    the values [X_{i+d} - X_i] are all distinct.  Cost counts surplus
+    occurrences of each difference per row of the triangle. *)
+
+include Lv_search.Csp.PROBLEM
+
+val create : int -> t
+(** [create n] for [n >= 3]. *)
+
+val pack : int -> Lv_search.Csp.packed
+
+val check : int array -> bool
+(** Standalone checker: is this permutation a Costas array? *)

@@ -1,0 +1,15 @@
+open Lv_search
+
+let params name size =
+  let d = Params.default in
+  match name with
+  | "magic-square" -> { d with Params.prob_select_loc_min = 0.8 }
+  | "all-interval" ->
+    ignore size;
+    { d with Params.prob_select_loc_min = 0.8 }
+  | "costas-array" -> { d with Params.prob_select_loc_min = 0.5 }
+  | "n-queens" -> { d with Params.prob_select_loc_min = 0.5 }
+  | "number-partitioning" ->
+    (* Uniform error projection: escape plateaus by walking often. *)
+    { d with Params.prob_select_loc_min = 0.8 }
+  | _ -> d

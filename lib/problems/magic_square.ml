@@ -1,0 +1,188 @@
+type t = {
+  n : int;            (* side length *)
+  nn : int;           (* n * n, number of variables *)
+  magic : int;        (* n (n² + 1) / 2 *)
+  x : int array;      (* permutation of 0 .. nn-1; cell value = x.(i) + 1 *)
+  row_sum : int array;
+  col_sum : int array;
+  mutable diag_sum : int;      (* main diagonal, r = c *)
+  mutable anti_sum : int;      (* anti-diagonal, r + c = n - 1 *)
+  mutable cost : int;
+}
+
+let name = "magic-square"
+let size t = t.nn
+let config t = t.x
+let cost t = t.cost
+
+let row t i = i / t.n
+let col t i = i mod t.n
+let on_diag t i = row t i = col t i
+let on_anti t i = row t i + col t i = t.n - 1
+
+let line_cost t =
+  let c = ref 0 in
+  for r = 0 to t.n - 1 do
+    c := !c + abs (t.row_sum.(r) - t.magic)
+  done;
+  for cidx = 0 to t.n - 1 do
+    c := !c + abs (t.col_sum.(cidx) - t.magic)
+  done;
+  c := !c + abs (t.diag_sum - t.magic) + abs (t.anti_sum - t.magic);
+  !c
+
+let rebuild t =
+  Array.fill t.row_sum 0 t.n 0;
+  Array.fill t.col_sum 0 t.n 0;
+  t.diag_sum <- 0;
+  t.anti_sum <- 0;
+  for i = 0 to t.nn - 1 do
+    let v = t.x.(i) + 1 in
+    t.row_sum.(row t i) <- t.row_sum.(row t i) + v;
+    t.col_sum.(col t i) <- t.col_sum.(col t i) + v;
+    if on_diag t i then t.diag_sum <- t.diag_sum + v;
+    if on_anti t i then t.anti_sum <- t.anti_sum + v
+  done;
+  t.cost <- line_cost t
+
+let set_config t cfg =
+  if Array.length cfg <> t.nn then invalid_arg "Magic_square.set_config: size mismatch";
+  Array.blit cfg 0 t.x 0 t.nn;
+  rebuild t
+
+let create n =
+  if n < 3 then invalid_arg "Magic_square.create: n must be >= 3";
+  let nn = n * n in
+  let t =
+    {
+      n;
+      nn;
+      magic = n * (nn + 1) / 2;
+      x = Array.init nn (fun i -> i);
+      row_sum = Array.make n 0;
+      col_sum = Array.make n 0;
+      diag_sum = 0;
+      anti_sum = 0;
+      cost = 0;
+    }
+  in
+  rebuild t;
+  t
+
+let var_error t i =
+  let e = ref (abs (t.row_sum.(row t i) - t.magic) + abs (t.col_sum.(col t i) - t.magic)) in
+  if on_diag t i then e := !e + abs (t.diag_sum - t.magic);
+  if on_anti t i then e := !e + abs (t.anti_sum - t.magic);
+  !e
+
+(* Cost change from moving value difference [d] into cell [j] and out of
+   cell [i] (i.e. swapping): only lines containing exactly one of the two
+   cells change their sum. *)
+let cost_after_swap t i j =
+  if i = j then t.cost
+  else begin
+    let d = t.x.(j) - t.x.(i) in
+    (* d is added to every line through i and subtracted from every line
+       through j; a line through both is unchanged. *)
+    let adjust sum_before delta acc =
+      acc - abs (sum_before - t.magic) + abs (sum_before + delta - t.magic)
+    in
+    let acc = ref t.cost in
+    let ri = row t i and rj = row t j in
+    let ci = col t i and cj = col t j in
+    if ri <> rj then begin
+      acc := adjust t.row_sum.(ri) d !acc;
+      acc := adjust t.row_sum.(rj) (-d) !acc
+    end;
+    if ci <> cj then begin
+      acc := adjust t.col_sum.(ci) d !acc;
+      acc := adjust t.col_sum.(cj) (-d) !acc
+    end;
+    let di = on_diag t i and dj = on_diag t j in
+    if di && not dj then acc := adjust t.diag_sum d !acc
+    else if dj && not di then acc := adjust t.diag_sum (-d) !acc;
+    let ai = on_anti t i and aj = on_anti t j in
+    if ai && not aj then acc := adjust t.anti_sum d !acc
+    else if aj && not ai then acc := adjust t.anti_sum (-d) !acc;
+    !acc
+  end
+
+let do_swap t i j =
+  if i <> j then begin
+    let d = t.x.(j) - t.x.(i) in
+    let ri = row t i and rj = row t j in
+    let ci = col t i and cj = col t j in
+    if ri <> rj then begin
+      t.row_sum.(ri) <- t.row_sum.(ri) + d;
+      t.row_sum.(rj) <- t.row_sum.(rj) - d
+    end;
+    if ci <> cj then begin
+      t.col_sum.(ci) <- t.col_sum.(ci) + d;
+      t.col_sum.(cj) <- t.col_sum.(cj) - d
+    end;
+    let di = on_diag t i and dj = on_diag t j in
+    if di && not dj then t.diag_sum <- t.diag_sum + d
+    else if dj && not di then t.diag_sum <- t.diag_sum - d;
+    let ai = on_anti t i and aj = on_anti t j in
+    if ai && not aj then t.anti_sum <- t.anti_sum + d
+    else if aj && not ai then t.anti_sum <- t.anti_sum - d;
+    let tmp = t.x.(i) in
+    t.x.(i) <- t.x.(j);
+    t.x.(j) <- tmp;
+    t.cost <- line_cost t
+  end
+
+let check ~n x =
+  let nn = n * n in
+  Array.length x = nn
+  && begin
+       let magic = n * (nn + 1) / 2 in
+       let seen = Array.make nn false in
+       let ok = ref true in
+       Array.iter
+         (fun v ->
+           if v < 0 || v >= nn || seen.(v) then ok := false else seen.(v) <- true)
+         x;
+       if !ok then begin
+         for r = 0 to n - 1 do
+           let s = ref 0 in
+           for c = 0 to n - 1 do
+             s := !s + x.((r * n) + c) + 1
+           done;
+           if !s <> magic then ok := false
+         done;
+         for c = 0 to n - 1 do
+           let s = ref 0 in
+           for r = 0 to n - 1 do
+             s := !s + x.((r * n) + c) + 1
+           done;
+           if !s <> magic then ok := false
+         done;
+         let d1 = ref 0 and d2 = ref 0 in
+         for r = 0 to n - 1 do
+           d1 := !d1 + x.((r * n) + r) + 1;
+           d2 := !d2 + x.((r * n) + (n - 1 - r)) + 1
+         done;
+         if !d1 <> magic || !d2 <> magic then ok := false
+       end;
+       !ok
+     end
+
+let is_solution t = check ~n:t.n t.x
+
+let pack n =
+  Lv_search.Csp.Packed
+    ( (module struct
+        type nonrec t = t
+
+        let name = name
+        let size = size
+        let set_config = set_config
+        let config = config
+        let cost = cost
+        let var_error = var_error
+        let cost_after_swap = cost_after_swap
+        let do_swap = do_swap
+        let is_solution = is_solution
+      end),
+      create n )

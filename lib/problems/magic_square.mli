@@ -1,0 +1,17 @@
+(** MAGIC-SQUARE (CSPLib prob019).
+
+    Place [1 .. N²] on an [N × N] grid so that every row, column and the two
+    main diagonals sum to the magic constant [N(N² + 1)/2].  The configuration
+    is a permutation of [0 .. N²-1]: cell [i] holds value [perm_i + 1].  Cost
+    is the total absolute deviation of all [2N + 2] line sums; a cell's error
+    is the deviation carried by the lines through it. *)
+
+include Lv_search.Csp.PROBLEM
+
+val create : int -> t
+(** [create n] builds the [n × n] instance, [n >= 3]. *)
+
+val pack : int -> Lv_search.Csp.packed
+
+val check : n:int -> int array -> bool
+(** Standalone checker on a configuration in the same encoding. *)

@@ -1,0 +1,27 @@
+(** NUMBER-PARTITIONING (CSPLib prob049, the reference Adaptive Search
+    library's "partit" benchmark).
+
+    Split [{1, ..., N}] into two halves of [N/2] numbers such that both
+    halves have the same sum and the same sum of squares.  Solutions exist
+    exactly when [N ≡ 0 (mod 8)].  The configuration is a permutation of
+    [0 .. N-1]: position [i] holds value [perm_i + 1] and the first [N/2]
+    positions form the first half; cost is the absolute deviation of the
+    first half's sum and sum of squares from their targets. *)
+
+include Lv_search.Csp.PROBLEM
+
+val create : int -> t
+(** [create n] for [n >= 8] with [n mod 8 = 0] (raises [Invalid_argument]
+    otherwise — other sizes admit no solution).
+
+    Practical note: both constraints are symmetric in the positions, so the
+    error projection is uniform and Adaptive Search degenerates to
+    min-conflict over cross-half swaps; that solves [n <= 64] in fractions
+    of a second but wanders plateaus beyond [n ≈ 80].  The reference
+    implementation ships problem-specific tricks for large instances that
+    this model intentionally omits. *)
+
+val pack : int -> Lv_search.Csp.packed
+
+val check : int array -> bool
+(** Standalone checker on the same encoding. *)

@@ -1,0 +1,135 @@
+type t = {
+  n : int;
+  x : int array;
+  up : int array;    (* up.(x_i + i): queens on each / diagonal *)
+  down : int array;  (* down.(x_i - i + n - 1): queens on each \ diagonal *)
+  mutable cost : int;
+}
+
+let name = "n-queens"
+let size t = t.n
+let config t = t.x
+let cost t = t.cost
+
+let surplus c = if c > 1 then c - 1 else 0
+
+let rebuild t =
+  Array.fill t.up 0 (Array.length t.up) 0;
+  Array.fill t.down 0 (Array.length t.down) 0;
+  t.cost <- 0;
+  for i = 0 to t.n - 1 do
+    let u = t.x.(i) + i and d = t.x.(i) - i + t.n - 1 in
+    t.up.(u) <- t.up.(u) + 1;
+    if t.up.(u) > 1 then t.cost <- t.cost + 1;
+    t.down.(d) <- t.down.(d) + 1;
+    if t.down.(d) > 1 then t.cost <- t.cost + 1
+  done
+
+let set_config t cfg =
+  if Array.length cfg <> t.n then invalid_arg "Queens.set_config: size mismatch";
+  Array.blit cfg 0 t.x 0 t.n;
+  rebuild t
+
+let create n =
+  if n < 4 then invalid_arg "Queens.create: n must be >= 4";
+  let t =
+    {
+      n;
+      x = Array.init n (fun i -> i);
+      up = Array.make ((2 * n) - 1) 0;
+      down = Array.make ((2 * n) - 1) 0;
+      cost = 0;
+    }
+  in
+  rebuild t;
+  t
+
+let var_error t i =
+  let u = t.x.(i) + i and d = t.x.(i) - i + t.n - 1 in
+  surplus t.up.(u) + surplus t.down.(d)
+
+let eval_swap t i j ~commit =
+  (* Remove both queens' diagonals, add them back swapped, track delta. *)
+  let delta = ref 0 in
+  let remove a k =
+    if a.(k) > 1 then decr delta;
+    a.(k) <- a.(k) - 1
+  and add a k =
+    if a.(k) >= 1 then incr delta;
+    a.(k) <- a.(k) + 1
+  in
+  let ui = t.x.(i) + i and di = t.x.(i) - i + t.n - 1 in
+  let uj = t.x.(j) + j and dj = t.x.(j) - j + t.n - 1 in
+  let ui' = t.x.(j) + i and di' = t.x.(j) - i + t.n - 1 in
+  let uj' = t.x.(i) + j and dj' = t.x.(i) - j + t.n - 1 in
+  remove t.up ui;
+  remove t.up uj;
+  remove t.down di;
+  remove t.down dj;
+  add t.up ui';
+  add t.up uj';
+  add t.down di';
+  add t.down dj';
+  let new_cost = t.cost + !delta in
+  if commit then begin
+    t.cost <- new_cost;
+    let tmp = t.x.(i) in
+    t.x.(i) <- t.x.(j);
+    t.x.(j) <- tmp
+  end
+  else begin
+    remove t.up ui';
+    remove t.up uj';
+    remove t.down di';
+    remove t.down dj';
+    add t.up ui;
+    add t.up uj;
+    add t.down di;
+    add t.down dj;
+    (* The remove/add bookkeeping above touched [delta]; the counts are what
+       matters for rollback and they are now restored. *)
+  end;
+  new_cost
+
+let cost_after_swap t i j = if i = j then t.cost else eval_swap t i j ~commit:false
+let do_swap t i j = if i <> j then ignore (eval_swap t i j ~commit:true)
+
+let check x =
+  let n = Array.length x in
+  n >= 4
+  && begin
+       let seen = Array.make n false in
+       let up = Array.make ((2 * n) - 1) 0 and down = Array.make ((2 * n) - 1) 0 in
+       let ok = ref true in
+       Array.iteri
+         (fun i v ->
+           if v < 0 || v >= n || seen.(v) then ok := false
+           else begin
+             seen.(v) <- true;
+             let u = v + i and d = v - i + n - 1 in
+             if up.(u) > 0 || down.(d) > 0 then ok := false;
+             up.(u) <- up.(u) + 1;
+             down.(d) <- down.(d) + 1
+           end)
+         x;
+       !ok
+     end
+
+let is_solution t = check t.x
+
+let pack n =
+  Lv_search.Csp.Packed
+    ( (module struct
+        type nonrec t = t
+
+        let name = name
+        let size = size
+        let set_config = set_config
+        let config = config
+        let cost = cost
+        let var_error = var_error
+        let cost_after_swap = cost_after_swap
+        let do_swap = do_swap
+        let is_solution = is_solution
+      end),
+      create n )

@@ -1,0 +1,15 @@
+(** N-QUEENS in the permutation model (extra benchmark, not in the paper;
+    used by examples and as an easy Las Vegas specimen in tests).
+
+    [X_i] is the row of the queen in column [i]; the permutation encoding
+    makes rows and columns conflict-free by construction, so cost counts
+    only surplus queens on each of the [2(2N - 1)] diagonals. *)
+
+include Lv_search.Csp.PROBLEM
+
+val create : int -> t
+(** [create n] for [n >= 4]. *)
+
+val pack : int -> Lv_search.Csp.packed
+
+val check : int array -> bool

@@ -1,0 +1,33 @@
+let all =
+  [
+    ("all-interval", All_interval.pack);
+    ("magic-square", Magic_square.pack);
+    ("costas-array", Costas.pack);
+    ("n-queens", Queens.pack);
+    ("number-partitioning", Partition.pack);
+  ]
+
+let aliases =
+  [
+    ("ai", "all-interval");
+    ("ms", "magic-square");
+    ("magic", "magic-square");
+    ("costas", "costas-array");
+    ("queens", "n-queens");
+    ("partit", "number-partitioning");
+    ("partition", "number-partitioning");
+  ]
+
+let names = List.map fst all
+
+let find name =
+  let canonical =
+    match List.assoc_opt name aliases with Some c -> c | None -> name
+  in
+  match List.assoc_opt canonical all with
+  | Some f -> Some f
+  | None ->
+    (* Unambiguous prefix of a canonical name. *)
+    (match List.filter (fun (n, _) -> String.starts_with ~prefix:canonical n) all with
+    | [ (_, f) ] -> Some f
+    | _ -> None)

@@ -1,0 +1,10 @@
+(** Name-indexed access to the benchmark problems, for the CLI and the
+    campaign runner ("magic-square 20", "costas-array 17", ...). *)
+
+val all : (string * (int -> Lv_search.Csp.packed)) list
+(** Problem constructors by canonical name. *)
+
+val find : string -> (int -> Lv_search.Csp.packed) option
+(** Lookup by canonical name or unambiguous prefix ("costas", "ms", "ai"). *)
+
+val names : string list

@@ -1,0 +1,177 @@
+type stats = {
+  iterations : int;
+  swaps : int;
+  plateau_moves : int;
+  local_minima : int;
+  resets : int;
+  restarts : int;
+}
+
+type outcome = Solved of int array | Exhausted of int
+
+type result = { outcome : outcome; stats : stats }
+
+let solved r = match r.outcome with Solved _ -> true | Exhausted _ -> false
+let iterations r = r.stats.iterations
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "iters=%d swaps=%d plateau=%d locmin=%d resets=%d restarts=%d" s.iterations
+    s.swaps s.plateau_moves s.local_minima s.resets s.restarts
+
+module Make (P : Csp.PROBLEM) = struct
+  (* Mutable solver state, allocated once per solve. *)
+  type state = {
+    n : int;
+    mutable frozen_until : int array;  (* iteration until which var i is tabu *)
+    mutable n_frozen : int;
+    candidates : int array;            (* scratch for tie-breaking *)
+  }
+
+  let fresh_config st rng = Lv_stats.Rng.permutation rng st.n
+
+  let unfreeze_expired st iter =
+    if st.n_frozen > 0 then begin
+      let live = ref 0 in
+      for i = 0 to st.n - 1 do
+        if st.frozen_until.(i) > iter then incr live
+      done;
+      st.n_frozen <- !live
+    end
+
+  (* Worst non-frozen variable by projected error; ties broken uniformly.
+     Returns -1 when every positive-error variable is frozen. *)
+  let select_culprit st inst rng iter =
+    let best_err = ref 0 and n_ties = ref 0 in
+    for i = 0 to st.n - 1 do
+      if st.frozen_until.(i) <= iter then begin
+        let e = P.var_error inst i in
+        if e > !best_err then begin
+          best_err := e;
+          st.candidates.(0) <- i;
+          n_ties := 1
+        end
+        else if e = !best_err && e > 0 then begin
+          st.candidates.(!n_ties) <- i;
+          incr n_ties
+        end
+      end
+    done;
+    if !n_ties = 0 then -1
+    else st.candidates.(Lv_stats.Rng.int rng !n_ties)
+
+  (* Best swap partner for the culprit by min-conflict; ties uniform. *)
+  let select_partner st inst rng culprit =
+    let best_cost = ref max_int and n_ties = ref 0 in
+    for j = 0 to st.n - 1 do
+      if j <> culprit then begin
+        let c = P.cost_after_swap inst culprit j in
+        if c < !best_cost then begin
+          best_cost := c;
+          st.candidates.(0) <- j;
+          n_ties := 1
+        end
+        else if c = !best_cost then begin
+          st.candidates.(!n_ties) <- j;
+          incr n_ties
+        end
+      end
+    done;
+    (st.candidates.(Lv_stats.Rng.int rng !n_ties), !best_cost)
+
+  (* Partial reset: reshuffle the values held by a random subset of
+     positions, clear every freeze. *)
+  let partial_reset st inst rng fraction =
+    let k = Int.max 2 (int_of_float (ceil (fraction *. float_of_int st.n))) in
+    let pos = Array.sub (Lv_stats.Rng.permutation rng st.n) 0 k in
+    let cfg = Array.copy (P.config inst) in
+    let vals = Array.map (fun p -> cfg.(p)) pos in
+    Lv_stats.Rng.shuffle_in_place rng vals;
+    Array.iteri (fun idx p -> cfg.(p) <- vals.(idx)) pos;
+    P.set_config inst cfg;
+    Array.fill st.frozen_until 0 st.n 0;
+    st.n_frozen <- 0
+
+  let solve ?(params = Params.default) ?(stop = fun () -> false) ~rng inst =
+    let n = P.size inst in
+    let params = Params.validate ~n_vars:n params in
+    let st = { n; frozen_until = Array.make n 0; n_frozen = 0; candidates = Array.make n 0 } in
+    P.set_config inst (fresh_config st rng);
+    let iter = ref 0 in
+    let swaps = ref 0 and plateau = ref 0 and locmin = ref 0 in
+    let resets = ref 0 and restarts = ref 0 in
+    let since_restart = ref 0 in
+    let best_cost = ref (P.cost inst) in
+    let outcome = ref None in
+    while !outcome = None do
+      let cost = P.cost inst in
+      if cost < !best_cost then best_cost := cost;
+      if cost = 0 then outcome := Some (Solved (Array.copy (P.config inst)))
+      else if !iter >= params.Params.max_iterations || ((!iter land 1023) = 0 && stop ())
+      then outcome := Some (Exhausted !best_cost)
+      else begin
+        incr iter;
+        incr since_restart;
+        if !since_restart > params.Params.restart_limit then begin
+          P.set_config inst (fresh_config st rng);
+          Array.fill st.frozen_until 0 st.n 0;
+          st.n_frozen <- 0;
+          since_restart := 0;
+          incr restarts
+        end
+        else begin
+          unfreeze_expired st !iter;
+          let culprit = select_culprit st inst rng !iter in
+          if culprit < 0 then begin
+            (* Everything in error is frozen: force a reset. *)
+            partial_reset st inst rng params.Params.reset_fraction;
+            incr resets
+          end
+          else begin
+            let partner, new_cost = select_partner st inst rng culprit in
+            if new_cost < cost then begin
+              P.do_swap inst culprit partner;
+              incr swaps
+            end
+            else begin
+              (* No strictly improving swap: the culprit sits at a local
+                 minimum (possibly a plateau).  Walk through it with
+                 probability [prob_select_loc_min], otherwise freeze it. *)
+              incr locmin;
+              if Lv_stats.Rng.uniform rng < params.Params.prob_select_loc_min
+              then begin
+                P.do_swap inst culprit partner;
+                incr swaps;
+                if new_cost = cost then incr plateau
+              end
+              else begin
+                st.frozen_until.(culprit) <- !iter + params.Params.tabu_tenure;
+                st.n_frozen <- st.n_frozen + 1;
+                if st.n_frozen >= params.Params.reset_limit then begin
+                  partial_reset st inst rng params.Params.reset_fraction;
+                  incr resets
+                end
+              end
+            end
+          end
+        end
+      end
+    done;
+    let outcome = Option.get !outcome in
+    {
+      outcome;
+      stats =
+        {
+          iterations = !iter;
+          swaps = !swaps;
+          plateau_moves = !plateau;
+          local_minima = !locmin;
+          resets = !resets;
+          restarts = !restarts;
+        };
+    }
+end
+
+let solve_packed ?params ?stop ~rng (Csp.Packed ((module P), inst)) =
+  let module S = Make (P) in
+  S.solve ?params ?stop ~rng inst

@@ -1,0 +1,55 @@
+(** Adaptive Search (Codognet & Diaz 2001) for permutation problems.
+
+    One iteration: project constraint errors onto variables, pick the
+    non-frozen variable with the worst error (the "culprit", ties broken
+    uniformly), evaluate every swap of the culprit with another position and
+    keep the best (min-conflict).  Improving or sideways swaps are taken; at
+    a local minimum the culprit is either walked through (with probability
+    [prob_select_loc_min]) or frozen for [tabu_tenure] iterations.  When
+    [reset_limit] variables are frozen at once, a partial reset reshuffles a
+    random [reset_fraction] of the configuration; [restart_limit] iterations
+    trigger a full restart.  The run is a Las Vegas algorithm: correctness of
+    a returned solution is certain, runtime is the random variable the rest
+    of this library models. *)
+
+type stats = {
+  iterations : int;   (** outer-loop iterations — the paper's runtime metric *)
+  swaps : int;        (** accepted moves *)
+  plateau_moves : int;(** accepted sideways moves *)
+  local_minima : int; (** times the culprit had no non-worsening swap *)
+  resets : int;
+  restarts : int;
+}
+
+type outcome =
+  | Solved of int array  (** solution configuration *)
+  | Exhausted of int     (** gave up at [max_iterations]; best cost reached *)
+
+type result = { outcome : outcome; stats : stats }
+
+val solved : result -> bool
+val iterations : result -> int
+
+module Make (P : Csp.PROBLEM) : sig
+  val solve :
+    ?params:Params.t ->
+    ?stop:(unit -> bool) ->
+    rng:Lv_stats.Rng.t ->
+    P.t ->
+    result
+  (** Run to solution (or budget) from a fresh random configuration drawn
+      from [rng].  The instance is left holding the final configuration.
+      [stop] is polled every 1024 iterations; when it returns [true] the run
+      ends as [Exhausted] — the hook the multi-walk race uses to kill losing
+      walkers. *)
+end
+
+val solve_packed :
+  ?params:Params.t ->
+  ?stop:(unit -> bool) ->
+  rng:Lv_stats.Rng.t ->
+  Csp.packed ->
+  result
+(** Same, on an existentially packed instance. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,18 @@
+module type PROBLEM = sig
+  type t
+
+  val name : string
+  val size : t -> int
+  val set_config : t -> int array -> unit
+  val config : t -> int array
+  val cost : t -> int
+  val var_error : t -> int -> int
+  val cost_after_swap : t -> int -> int -> int
+  val do_swap : t -> int -> int -> unit
+  val is_solution : t -> bool
+end
+
+type packed = Packed : (module PROBLEM with type t = 'a) * 'a -> packed
+
+let packed_name (Packed ((module P), _)) = P.name
+let packed_size (Packed ((module P), inst)) = P.size inst

@@ -1,0 +1,22 @@
+type interval = { estimate : float; lo : float; hi : float; level : float }
+
+let confidence_interval ?(replicates = 1000) ?(level = 0.95) ~rng ~stat xs =
+  if Array.length xs = 0 then invalid_arg "Bootstrap.confidence_interval: empty sample";
+  if replicates <= 0 then invalid_arg "Bootstrap.confidence_interval: replicates must be positive";
+  if not (level > 0. && level < 1.) then
+    invalid_arg "Bootstrap.confidence_interval: level must lie in (0, 1)";
+  let emp = Empirical.of_array xs in
+  let n = Array.length xs in
+  let stats =
+    Array.init replicates (fun _ -> stat (Empirical.resample emp rng n))
+  in
+  let alpha = (1. -. level) /. 2. in
+  {
+    estimate = stat xs;
+    lo = Summary.quantile stats alpha;
+    hi = Summary.quantile stats (1. -. alpha);
+    level;
+  }
+
+let pp_interval ppf i =
+  Format.fprintf ppf "%.4g [%.4g, %.4g]@%.0f%%" i.estimate i.lo i.hi (100. *. i.level)

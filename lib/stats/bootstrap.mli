@@ -1,0 +1,15 @@
+(** Percentile bootstrap confidence intervals — used to put error bars on the
+    measured speed-ups (the paper reports bare averages of 50 runs; the
+    reproduction quantifies the resampling noise instead). *)
+
+type interval = { estimate : float; lo : float; hi : float; level : float }
+
+val confidence_interval :
+  ?replicates:int -> ?level:float ->
+  rng:Rng.t -> stat:(float array -> float) -> float array -> interval
+(** [confidence_interval ~rng ~stat xs] bootstraps [stat] over [xs]
+    ([replicates] resamples, default 1000) and returns the percentile
+    interval at [level] (default 0.95) around the point estimate
+    [stat xs]. *)
+
+val pp_interval : Format.formatter -> interval -> unit

@@ -1,0 +1,30 @@
+let check_rate rate =
+  if not (rate > 0.) then invalid_arg "Exponential: rate must be positive"
+
+let pdf ~rate t =
+  check_rate rate;
+  if t < 0. then 0. else rate *. exp (-.rate *. t)
+
+let cdf ~rate t =
+  check_rate rate;
+  if t < 0. then 0. else 1. -. exp (-.rate *. t)
+
+let quantile ~rate p =
+  check_rate rate;
+  if not (p > 0. && p < 1.) then invalid_arg "Exponential.quantile: p must lie in (0, 1)";
+  -.log (1. -. p) /. rate
+
+let create ~rate =
+  check_rate rate;
+  Distribution.make ~name:"exponential"
+    ~params:[ ("lambda", rate) ]
+    ~support:(0., infinity) ~pdf:(pdf ~rate) ~cdf:(cdf ~rate)
+    ~quantile:(quantile ~rate)
+    ~sample:(fun rng -> Rng.exponential rng ~rate)
+    ~mean:(1. /. rate)
+    ~variance:(1. /. (rate *. rate))
+    ()
+
+let shifted ~x0 ~rate =
+  if x0 < 0. then invalid_arg "Exponential.shifted: x0 must be nonnegative";
+  Distribution.shift (create ~rate) x0

@@ -1,0 +1,48 @@
+let check shape rate =
+  if not (shape > 0. && rate > 0.) then
+    invalid_arg "Gamma_dist: shape and rate must be positive"
+
+let pdf ~shape ~rate t =
+  check shape rate;
+  if t < 0. then 0.
+  else if t = 0. then (if shape < 1. then infinity else if shape = 1. then rate else 0.)
+  else
+    exp
+      ((shape *. log rate) +. ((shape -. 1.) *. log t) -. (rate *. t)
+      -. Special.log_gamma shape)
+
+let cdf ~shape ~rate t =
+  check shape rate;
+  if t <= 0. then 0. else Special.gamma_p shape (rate *. t)
+
+let create ~shape ~rate =
+  check shape rate;
+  Distribution.make ~name:"gamma"
+    ~params:[ ("shape", shape); ("rate", rate) ]
+    ~support:(0., infinity) ~pdf:(pdf ~shape ~rate) ~cdf:(cdf ~shape ~rate)
+    ~sample:(fun rng ->
+      (* Marsaglia–Tsang squeeze for shape >= 1; boost by U^(1/shape) below. *)
+      let rec draw shape =
+        if shape < 1. then
+          draw (shape +. 1.) *. (Rng.uniform_pos rng ** (1. /. shape))
+        else begin
+          let d = shape -. (1. /. 3.) in
+          let c = 1. /. sqrt (9. *. d) in
+          let rec attempt () =
+            let x = Rng.normal rng in
+            let v = 1. +. (c *. x) in
+            if v <= 0. then attempt ()
+            else begin
+              let v = v *. v *. v in
+              let u = Rng.uniform_pos rng in
+              if log u < (0.5 *. x *. x) +. d -. (d *. v) +. (d *. log v) then d *. v
+              else attempt ()
+            end
+          in
+          attempt ()
+        end
+      in
+      draw shape /. rate)
+    ~mean:(shape /. rate)
+    ~variance:(shape /. (rate *. rate))
+    ()

@@ -1,0 +1,32 @@
+(** One-sample Kolmogorov–Smirnov goodness-of-fit test — the paper's
+    acceptance criterion for every fitted runtime distribution
+    (Section 6: accept when the p-value clears 0.05). *)
+
+val statistic : float array -> (float -> float) -> float
+(** [statistic sample cdf] is [D_n = sup_x |F_n(x) - F(x)|], evaluated at the
+    jump points of the ECDF (where the supremum is attained). *)
+
+val kolmogorov_cdf : float -> float
+(** CDF of the Kolmogorov distribution,
+    [K(x) = 1 - 2 Σ_{k≥1} (-1)^(k-1) e^(-2 k² x²)] for [x > 0], with the
+    theta-function form used for small [x] where the alternating series
+    converges slowly. *)
+
+val p_value : n:int -> float -> float
+(** Asymptotic p-value of the statistic [d] on [n] observations:
+    [1 - K(d · (√n + 0.12 + 0.11/√n))] — the Stephens small-sample
+    correction, accurate for [n >= 8] (the classical tables' regime). *)
+
+type result = {
+  statistic : float;
+  p_value : float;
+  n : int;
+  accept : bool;  (** [p_value >= alpha] *)
+  alpha : float;
+}
+
+val test : ?alpha:float -> float array -> (float -> float) -> result
+(** Run the test of [sample] against the theoretical [cdf] at significance
+    level [alpha] (default 0.05, as in the paper). *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,21 @@
+let check scale = if not (scale > 0.) then invalid_arg "Levy: scale must be positive"
+
+let pdf ~scale t =
+  check scale;
+  if t <= 0. then 0.
+  else sqrt (scale /. (2. *. Float.pi)) *. exp (-.scale /. (2. *. t)) /. (t ** 1.5)
+
+let cdf ~scale t =
+  check scale;
+  if t <= 0. then 0. else Special.erfc (sqrt (scale /. (2. *. t)))
+
+let create ~scale =
+  check scale;
+  Distribution.make ~name:"levy"
+    ~params:[ ("c", scale) ]
+    ~support:(0., infinity) ~pdf:(pdf ~scale) ~cdf:(cdf ~scale)
+    ~quantile:(fun p ->
+      (* erfc(sqrt(c/2t)) = p  ⇔  t = c / (2 · erfc⁻¹(p)²). *)
+      let z = Special.erfc_inv p in
+      scale /. (2. *. z *. z))
+    ~mean:nan ~variance:nan ()

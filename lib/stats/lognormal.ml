@@ -1,0 +1,37 @@
+let check_sigma sigma =
+  if not (sigma > 0.) then invalid_arg "Lognormal: sigma must be positive"
+
+let sqrt2 = sqrt 2.
+let sqrt2pi = sqrt (2. *. Float.pi)
+
+let pdf ~mu ~sigma t =
+  check_sigma sigma;
+  if t <= 0. then 0.
+  else begin
+    let z = (log t -. mu) /. sigma in
+    exp (-0.5 *. z *. z) /. (t *. sigma *. sqrt2pi)
+  end
+
+let cdf ~mu ~sigma t =
+  check_sigma sigma;
+  if t <= 0. then 0. else 0.5 *. Special.erfc ((mu -. log t) /. (sqrt2 *. sigma))
+
+let quantile ~mu ~sigma p =
+  check_sigma sigma;
+  if not (p > 0. && p < 1.) then invalid_arg "Lognormal.quantile: p must lie in (0, 1)";
+  exp (mu +. (sigma *. Special.norm_quantile p))
+
+let create ~mu ~sigma =
+  check_sigma sigma;
+  let mean = exp (mu +. (sigma *. sigma /. 2.)) in
+  let variance = (exp (sigma *. sigma) -. 1.) *. exp ((2. *. mu) +. (sigma *. sigma)) in
+  Distribution.make ~name:"lognormal"
+    ~params:[ ("mu", mu); ("sigma", sigma) ]
+    ~support:(0., infinity) ~pdf:(pdf ~mu ~sigma) ~cdf:(cdf ~mu ~sigma)
+    ~quantile:(quantile ~mu ~sigma)
+    ~sample:(fun rng -> Rng.lognormal rng ~mu ~sigma)
+    ~mean ~variance ()
+
+let shifted ~x0 ~mu ~sigma =
+  if x0 < 0. then invalid_arg "Lognormal.shifted: x0 must be nonnegative";
+  Distribution.shift (create ~mu ~sigma) x0

@@ -1,0 +1,50 @@
+let check_sigma sigma = if not (sigma > 0.) then invalid_arg "Normal: sigma must be positive"
+
+let sqrt2pi = sqrt (2. *. Float.pi)
+
+let pdf ~mu ~sigma t =
+  check_sigma sigma;
+  let z = (t -. mu) /. sigma in
+  exp (-0.5 *. z *. z) /. (sigma *. sqrt2pi)
+
+let cdf ~mu ~sigma t =
+  check_sigma sigma;
+  Special.norm_cdf ((t -. mu) /. sigma)
+
+let quantile ~mu ~sigma p =
+  check_sigma sigma;
+  mu +. (sigma *. Special.norm_quantile p)
+
+let create ~mu ~sigma =
+  check_sigma sigma;
+  Distribution.make ~name:"normal"
+    ~params:[ ("mu", mu); ("sigma", sigma) ]
+    ~support:(neg_infinity, infinity) ~pdf:(pdf ~mu ~sigma) ~cdf:(cdf ~mu ~sigma)
+    ~quantile:(quantile ~mu ~sigma)
+    ~sample:(fun rng -> mu +. (sigma *. Rng.normal rng))
+    ~mean:mu
+    ~variance:(sigma *. sigma)
+    ()
+
+let truncated_positive ~mu ~sigma =
+  check_sigma sigma;
+  (* Mass below 0 that truncation removes. *)
+  let p0 = cdf ~mu ~sigma 0. in
+  let scale = 1. /. (1. -. p0) in
+  let pdf' t = if t < 0. then 0. else scale *. pdf ~mu ~sigma t in
+  let cdf' t = if t < 0. then 0. else scale *. (cdf ~mu ~sigma t -. p0) in
+  let quantile' p = quantile ~mu ~sigma (p0 +. (p /. scale)) in
+  let rec sample' rng =
+    let x = mu +. (sigma *. Rng.normal rng) in
+    if x >= 0. then x else sample' rng
+  in
+  (* Closed-form truncated-normal mean: μ + σ·φ(α)/(1-Φ(α)) with α = -μ/σ. *)
+  let alpha = -.mu /. sigma in
+  let phi_a = exp (-0.5 *. alpha *. alpha) /. sqrt2pi in
+  let lambda = phi_a /. (1. -. Special.norm_cdf alpha) in
+  let mean = mu +. (sigma *. lambda) in
+  let variance = sigma *. sigma *. (1. +. (alpha *. lambda) -. (lambda *. lambda)) in
+  Distribution.make ~name:"truncated-normal"
+    ~params:[ ("mu", mu); ("sigma", sigma) ]
+    ~support:(0., infinity) ~pdf:pdf' ~cdf:cdf' ~quantile:quantile' ~sample:sample'
+    ~mean ~variance ()

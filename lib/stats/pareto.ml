@@ -1,0 +1,31 @@
+let check xm alpha =
+  if not (xm > 0. && alpha > 0.) then
+    invalid_arg "Pareto: xm and alpha must be positive"
+
+let pdf ~xm ~alpha t =
+  check xm alpha;
+  if t < xm then 0. else alpha *. (xm ** alpha) /. (t ** (alpha +. 1.))
+
+let cdf ~xm ~alpha t =
+  check xm alpha;
+  if t < xm then 0. else 1. -. ((xm /. t) ** alpha)
+
+let create ~xm ~alpha =
+  check xm alpha;
+  let mean = if alpha > 1. then alpha *. xm /. (alpha -. 1.) else nan in
+  let variance =
+    if alpha > 2. then
+      xm *. xm *. alpha /. (((alpha -. 1.) ** 2.) *. (alpha -. 2.))
+    else nan
+  in
+  Distribution.make ~name:"pareto"
+    ~params:[ ("xm", xm); ("alpha", alpha) ]
+    ~support:(xm, infinity) ~pdf:(pdf ~xm ~alpha) ~cdf:(cdf ~xm ~alpha)
+    ~quantile:(fun p -> xm /. ((1. -. p) ** (1. /. alpha)))
+    ~mean ~variance ()
+
+let expected_min ~xm ~alpha n =
+  check xm alpha;
+  if n <= 0 then invalid_arg "Pareto.expected_min: n must be positive";
+  let na = float_of_int n *. alpha in
+  if na > 1. then na *. xm /. (na -. 1.) else nan

@@ -1,0 +1,18 @@
+(** Pareto family — the textbook heavy tail, and a min-stable one: the
+    minimum of [n] draws of Pareto(x_m, α) is Pareto(x_m, n·α), giving the
+    multi-walk transform another closed-form oracle.  A Pareto runtime law
+    with [α <= 1] has infinite mean sequentially but a *finite* mean under
+    enough parallelism (n·α > 1) — the extreme case of the paper's
+    long-runs-get-killed intuition. *)
+
+val create : xm:float -> alpha:float -> Distribution.t
+(** Scale [xm > 0] (also the support's lower end) and shape [alpha > 0].
+    [mean] is [nan] when [alpha <= 1]; [variance] is [nan] when
+    [alpha <= 2]. *)
+
+val pdf : xm:float -> alpha:float -> float -> float
+val cdf : xm:float -> alpha:float -> float -> float
+
+val expected_min : xm:float -> alpha:float -> int -> float
+(** Closed form [E[min of n] = n·α·x_m / (n·α - 1)] for [n·α > 1]; [nan]
+    otherwise. *)

@@ -1,0 +1,38 @@
+(** Numerical integration.
+
+    The prediction model needs `E[Z^(n)] = ∫ t·n·f(t)·(1-F(t))^(n-1) dt` and
+    the equivalent survival form `∫ (1-F(t))^n dt` over semi-infinite
+    intervals, for integrands that are smooth but sharply peaked (the
+    lognormal case of the paper).  Three complementary rules are provided:
+
+    - adaptive Simpson, robust default on finite intervals;
+    - fixed-order Gauss–Legendre, cheap and accurate for smooth integrands;
+    - tanh–sinh (double-exponential), excels with endpoint singularities and
+      is the engine behind the semi-infinite transforms. *)
+
+val simpson_adaptive :
+  ?rel_tol:float -> ?abs_tol:float -> ?max_depth:int ->
+  (float -> float) -> lo:float -> hi:float -> float
+(** Adaptive Simpson on [\[lo, hi\]].  Defaults: [rel_tol = 1e-10],
+    [abs_tol = 1e-12], [max_depth = 48]. *)
+
+val gauss_legendre : ?order:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Composite Gauss–Legendre with [order] nodes (default 64) on one panel. *)
+
+val tanh_sinh :
+  ?rel_tol:float -> ?max_level:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Double-exponential quadrature on a finite interval.  Tolerates integrable
+    endpoint singularities. *)
+
+val integrate_to_infinity :
+  ?rel_tol:float -> (float -> float) -> lo:float -> float
+(** ∫_lo^∞ f.  Maps [\[lo, ∞)] to [\[0, 1)] by [t = lo + u/(1-u)] and applies
+    {!tanh_sinh}; suited to integrands decaying at least polynomially. *)
+
+val integrate_decaying :
+  ?rel_tol:float -> ?scale:float -> (float -> float) -> lo:float -> float
+(** ∫_lo^∞ f for an eventually-decreasing integrand: sums panels of
+    geometrically growing width (each by {!gauss_legendre}) until a panel
+    contributes less than [rel_tol] of the running total.  [scale] sets the
+    first panel width (default 1.0).  More reliable than a single variable
+    change when the integrand's mass sits far from [lo]. *)

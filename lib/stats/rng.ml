@@ -1,0 +1,92 @@
+(* xoshiro256** by Blackman & Vigna, seeded with splitmix64.  Both are
+   public-domain reference algorithms; this is a direct transcription using
+   OCaml's boxed int64 arithmetic. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let ( <<< ) x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let splitmix64_next state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed64 seed =
+  let st = ref seed in
+  let s0 = splitmix64_next st in
+  let s1 = splitmix64_next st in
+  let s2 = splitmix64_next st in
+  let s3 = splitmix64_next st in
+  (* xoshiro must not start in the all-zero state; splitmix64 output makes
+     this essentially impossible, but guard anyway. *)
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let create ~seed = of_seed64 (Int64.of_int seed)
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let bits64 t =
+  let result = Int64.mul ((Int64.mul t.s1 5L) <<< 7) 9L in
+  let x = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 x;
+  t.s3 <- t.s3 <<< 45;
+  result
+
+let split t = of_seed64 (bits64 t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let b = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r b in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int b) 1L then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let uniform t =
+  (* 53 random bits scaled to [0,1). *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r *. 0x1.0p-53
+
+let rec uniform_pos t =
+  let u = uniform t in
+  if u > 0. then u else uniform_pos t
+
+let float t bound = uniform t *. bound
+
+let rec normal t =
+  let u = (2. *. uniform t) -. 1. in
+  let v = (2. *. uniform t) -. 1. in
+  let s = (u *. u) +. (v *. v) in
+  if s >= 1. || s = 0. then normal t
+  else u *. sqrt (-2. *. log s /. s)
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (uniform_pos t) /. rate
+
+let lognormal t ~mu ~sigma = exp (mu +. (sigma *. normal t))
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let x = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- x
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place t a;
+  a

@@ -1,0 +1,21 @@
+let check lo hi = if not (lo < hi) then invalid_arg "Uniform: requires lo < hi"
+
+let pdf ~lo ~hi t =
+  check lo hi;
+  if t < lo || t > hi then 0. else 1. /. (hi -. lo)
+
+let cdf ~lo ~hi t =
+  check lo hi;
+  if t < lo then 0. else if t > hi then 1. else (t -. lo) /. (hi -. lo)
+
+let create ~lo ~hi =
+  check lo hi;
+  let range = hi -. lo in
+  Distribution.make ~name:"uniform"
+    ~params:[ ("lo", lo); ("hi", hi) ]
+    ~support:(lo, hi) ~pdf:(pdf ~lo ~hi) ~cdf:(cdf ~lo ~hi)
+    ~quantile:(fun p -> lo +. (p *. range))
+    ~sample:(fun rng -> lo +. Rng.float rng range)
+    ~mean:(lo +. (range /. 2.))
+    ~variance:(range *. range /. 12.)
+    ()

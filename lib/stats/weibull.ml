@@ -1,0 +1,27 @@
+let check shape scale =
+  if not (shape > 0. && scale > 0.) then
+    invalid_arg "Weibull: shape and scale must be positive"
+
+let pdf ~shape ~scale t =
+  check shape scale;
+  if t < 0. then 0.
+  else begin
+    let z = t /. scale in
+    shape /. scale *. (z ** (shape -. 1.)) *. exp (-.(z ** shape))
+  end
+
+let cdf ~shape ~scale t =
+  check shape scale;
+  if t < 0. then 0. else 1. -. exp (-.((t /. scale) ** shape))
+
+let create ~shape ~scale =
+  check shape scale;
+  let mean = scale *. Special.gamma (1. +. (1. /. shape)) in
+  let m2 = scale *. scale *. Special.gamma (1. +. (2. /. shape)) in
+  Distribution.make ~name:"weibull"
+    ~params:[ ("shape", shape); ("scale", scale) ]
+    ~support:(0., infinity) ~pdf:(pdf ~shape ~scale) ~cdf:(cdf ~shape ~scale)
+    ~quantile:(fun p -> scale *. ((-.log (1. -. p)) ** (1. /. shape)))
+    ~mean
+    ~variance:(m2 -. (mean *. mean))
+    ()

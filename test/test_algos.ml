@@ -1,0 +1,295 @@
+(* Tests for the extra Las Vegas algorithms: CNF semantics and DIMACS
+   round-trips, random/planted k-SAT generators, WalkSAT correctness and
+   budgets, and randomized quicksort against its closed-form mean. *)
+
+let rng ?(seed = 11) () = Lv_stats.Rng.create ~seed
+
+(* ------------------------------------------------------------------ *)
+(* Cnf                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cnf_basics () =
+  let cnf = Lv_algos.Cnf.create ~n_vars:3 [| [| 1; -2 |]; [| 2; 3 |] |] in
+  Alcotest.(check int) "clauses" 2 (Lv_algos.Cnf.n_clauses cnf);
+  Alcotest.(check int) "var of positive" 0 (Lv_algos.Cnf.lit_var 1);
+  Alcotest.(check int) "var of negative" 1 (Lv_algos.Cnf.lit_var (-2));
+  Alcotest.(check bool) "positive" true (Lv_algos.Cnf.lit_positive 3);
+  Alcotest.(check bool) "negative" false (Lv_algos.Cnf.lit_positive (-3))
+
+let test_cnf_satisfaction () =
+  let cnf = Lv_algos.Cnf.create ~n_vars:3 [| [| 1; -2 |]; [| 2; 3 |] |] in
+  (* x1=T x2=F x3=F: clause1 sat (x1), clause2 unsat. *)
+  let a = [| true; false; false |] in
+  Alcotest.(check int) "one satisfied" 1 (Lv_algos.Cnf.count_satisfied cnf a);
+  Alcotest.(check bool) "not a model" false (Lv_algos.Cnf.satisfies cnf a);
+  let b = [| true; false; true |] in
+  Alcotest.(check bool) "model" true (Lv_algos.Cnf.satisfies cnf b)
+
+let test_cnf_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "zero literal" (fun () -> Lv_algos.Cnf.create ~n_vars:2 [| [| 0 |] |]);
+  expect_invalid "out of range" (fun () -> Lv_algos.Cnf.create ~n_vars:2 [| [| 3 |] |]);
+  expect_invalid "empty clause" (fun () -> Lv_algos.Cnf.create ~n_vars:2 [| [||] |]);
+  expect_invalid "no vars" (fun () -> Lv_algos.Cnf.create ~n_vars:0 [||])
+
+let test_cnf_dimacs_roundtrip () =
+  let cnf, _ = Lv_algos.Sat_gen.planted_3sat ~rng:(rng ()) ~n_vars:20 ~n_clauses:60 in
+  let text = Lv_algos.Cnf.to_dimacs cnf in
+  let back = Lv_algos.Cnf.of_dimacs text in
+  Alcotest.(check int) "vars" cnf.Lv_algos.Cnf.n_vars back.Lv_algos.Cnf.n_vars;
+  Alcotest.(check bool) "clauses equal" true
+    (cnf.Lv_algos.Cnf.clauses = back.Lv_algos.Cnf.clauses)
+
+let test_cnf_dimacs_parsing () =
+  let cnf = Lv_algos.Cnf.of_dimacs "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  Alcotest.(check int) "vars" 3 cnf.Lv_algos.Cnf.n_vars;
+  Alcotest.(check int) "clauses" 2 (Lv_algos.Cnf.n_clauses cnf);
+  (* Multi-line clause and missing trailing zero. *)
+  let cnf = Lv_algos.Cnf.of_dimacs "p cnf 2 1\n1\n2" in
+  Alcotest.(check int) "unterminated clause kept" 1 (Lv_algos.Cnf.n_clauses cnf);
+  (match Lv_algos.Cnf.of_dimacs "1 2 0" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing problem line accepted")
+
+(* ------------------------------------------------------------------ *)
+(* Sat_gen                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_random_ksat_shape () =
+  let cnf = Lv_algos.Sat_gen.random_ksat ~rng:(rng ()) ~n_vars:30 ~n_clauses:100 ~k:3 in
+  Alcotest.(check int) "clause count" 100 (Lv_algos.Cnf.n_clauses cnf);
+  Array.iter
+    (fun clause ->
+      Alcotest.(check int) "k literals" 3 (Array.length clause);
+      (* Distinct variables within a clause. *)
+      let vars = Array.map Lv_algos.Cnf.lit_var clause in
+      Array.sort compare vars;
+      Alcotest.(check bool) "distinct vars" true
+        (vars.(0) <> vars.(1) && vars.(1) <> vars.(2)))
+    cnf.Lv_algos.Cnf.clauses
+
+let test_ratio_generator () =
+  let cnf = Lv_algos.Sat_gen.random_3sat_at_ratio ~rng:(rng ()) ~n_vars:50 ~ratio:4.2 in
+  Alcotest.(check int) "clause count" 210 (Lv_algos.Cnf.n_clauses cnf)
+
+let test_planted_is_satisfiable () =
+  for seed = 0 to 9 do
+    let cnf, hidden =
+      Lv_algos.Sat_gen.planted_3sat ~rng:(rng ~seed ()) ~n_vars:40 ~n_clauses:160
+    in
+    Alcotest.(check bool) "hidden assignment satisfies" true
+      (Lv_algos.Cnf.satisfies cnf hidden)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Walksat                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_walksat_solves_planted () =
+  for seed = 0 to 4 do
+    let r = rng ~seed:(100 + seed) () in
+    let cnf, _ = Lv_algos.Sat_gen.planted_3sat ~rng:r ~n_vars:60 ~n_clauses:240 in
+    let result = Lv_algos.Walksat.solve ~rng:r cnf in
+    Alcotest.(check bool) "solved" true result.Lv_algos.Walksat.solved;
+    Alcotest.(check bool) "assignment is a model" true
+      (Lv_algos.Cnf.satisfies cnf result.Lv_algos.Walksat.assignment)
+  done
+
+let test_walksat_deterministic () =
+  let make_run () =
+    let r = rng ~seed:55 () in
+    let cnf, _ = Lv_algos.Sat_gen.planted_3sat ~rng:r ~n_vars:50 ~n_clauses:200 in
+    Lv_algos.Walksat.solve ~rng:r cnf
+  in
+  let a = make_run () and b = make_run () in
+  Alcotest.(check int) "same flips" a.Lv_algos.Walksat.flips b.Lv_algos.Walksat.flips
+
+let test_walksat_flip_budget () =
+  let r = rng ~seed:77 () in
+  (* An unsatisfiable formula: budget must stop the solver. *)
+  let cnf =
+    Lv_algos.Cnf.create ~n_vars:2
+      [| [| 1; 2 |]; [| -1; 2 |]; [| 1; -2 |]; [| -1; -2 |] |]
+  in
+  let params = { Lv_algos.Walksat.default_params with Lv_algos.Walksat.max_flips = 500 } in
+  let result = Lv_algos.Walksat.solve ~params ~rng:r cnf in
+  Alcotest.(check bool) "unsolved" false result.Lv_algos.Walksat.solved;
+  Alcotest.(check int) "budget respected" 500 result.Lv_algos.Walksat.flips
+
+let test_walksat_tries () =
+  let r = rng ~seed:78 () in
+  let cnf =
+    Lv_algos.Cnf.create ~n_vars:2
+      [| [| 1; 2 |]; [| -1; 2 |]; [| 1; -2 |]; [| -1; -2 |] |]
+  in
+  let params =
+    { Lv_algos.Walksat.noise = 0.5; max_flips = 100; max_tries = 4 }
+  in
+  let result = Lv_algos.Walksat.solve ~params ~rng:r cnf in
+  Alcotest.(check int) "all tries used" 4 result.Lv_algos.Walksat.tries;
+  Alcotest.(check int) "total flips" 400 result.Lv_algos.Walksat.flips
+
+let test_walksat_stop_hook () =
+  let r = rng ~seed:79 () in
+  let cnf =
+    Lv_algos.Cnf.create ~n_vars:2
+      [| [| 1; 2 |]; [| -1; 2 |]; [| 1; -2 |]; [| -1; -2 |] |]
+  in
+  let result = Lv_algos.Walksat.solve ~stop:(fun () -> true) ~rng:r cnf in
+  Alcotest.(check bool) "aborted quickly" true (result.Lv_algos.Walksat.flips <= 2048)
+
+let test_walksat_trivial_formula () =
+  (* A formula satisfied by the initial assignment needs zero flips. *)
+  let r = rng ~seed:80 () in
+  let cnf = Lv_algos.Cnf.create ~n_vars:2 [| [| 1; -1 |] |] in
+  let result = Lv_algos.Walksat.solve ~rng:r cnf in
+  Alcotest.(check bool) "tautology solved" true result.Lv_algos.Walksat.solved;
+  Alcotest.(check int) "no flips" 0 result.Lv_algos.Walksat.flips
+
+let test_walksat_validation () =
+  let r = rng () in
+  let cnf = Lv_algos.Cnf.create ~n_vars:2 [| [| 1 |] |] in
+  (match
+     Lv_algos.Walksat.solve
+       ~params:{ Lv_algos.Walksat.default_params with Lv_algos.Walksat.noise = 1.5 }
+       ~rng:r cnf
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "noise 1.5 accepted")
+
+let test_walksat_runtime_is_las_vegas () =
+  (* Different seeds on the same instance give varying flip counts. *)
+  let gen = rng ~seed:90 () in
+  let cnf, _ = Lv_algos.Sat_gen.planted_3sat ~rng:gen ~n_vars:80 ~n_clauses:320 in
+  let flips =
+    List.init 12 (fun i ->
+        let r = rng ~seed:(200 + i) () in
+        (Lv_algos.Walksat.solve ~rng:r cnf).Lv_algos.Walksat.flips)
+  in
+  Alcotest.(check bool) "runtimes vary" true
+    (List.length (List.sort_uniq compare flips) > 4)
+
+(* ------------------------------------------------------------------ *)
+(* Rquicksort                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_quicksort_sorts () =
+  let r = rng ~seed:31 () in
+  for _ = 1 to 50 do
+    let a = Array.init 100 (fun _ -> Lv_stats.Rng.int r 1000) in
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    ignore (Lv_algos.Rquicksort.sort ~rng:r a);
+    Alcotest.(check bool) "sorted" true (a = sorted)
+  done
+
+let test_quicksort_comparison_count_mean () =
+  let r = rng ~seed:37 () in
+  let n = 128 in
+  let reps = 3000 in
+  let total = ref 0 in
+  for _ = 1 to reps do
+    total := !total + Lv_algos.Rquicksort.comparisons_on_random_permutation ~rng:r n
+  done;
+  let mean = float_of_int !total /. float_of_int reps in
+  let expected = Lv_algos.Rquicksort.expected_comparisons n in
+  if abs_float (mean -. expected) /. expected > 0.02 then
+    Alcotest.failf "mean comparisons %g vs closed form %g" mean expected
+
+let test_quicksort_edge_cases () =
+  let r = rng () in
+  Alcotest.(check int) "singleton" 0 (Lv_algos.Rquicksort.sort ~rng:r [| 5 |]);
+  Alcotest.(check int) "empty" 0 (Lv_algos.Rquicksort.sort ~rng:r ([||] : int array));
+  let a = [| 3; 3; 3; 3 |] in
+  ignore (Lv_algos.Rquicksort.sort ~rng:r a);
+  Alcotest.(check (array int)) "duplicates kept" [| 3; 3; 3; 3 |] a
+
+let test_quicksort_concentration () =
+  (* The negative control: coefficient of variation shrinks with n. *)
+  let r = rng ~seed:41 () in
+  let cv n =
+    let xs =
+      Array.init 400 (fun _ ->
+          float_of_int (Lv_algos.Rquicksort.comparisons_on_random_permutation ~rng:r n))
+    in
+    Lv_stats.Summary.coefficient_of_variation xs
+  in
+  let cv_small = cv 16 and cv_large = cv 512 in
+  Alcotest.(check bool) "cv decreases with n" true (cv_large < cv_small);
+  Alcotest.(check bool) "cv well below exponential's 1" true (cv_large < 0.3)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"quicksort comparisons bounded by n^2/2" ~count:50
+      (pair small_int (int_range 2 100))
+      (fun (seed, n) ->
+        let r = Lv_stats.Rng.create ~seed in
+        let c = Lv_algos.Rquicksort.comparisons_on_random_permutation ~rng:r n in
+        c >= n - 1 && c <= n * (n - 1) / 2);
+    Test.make ~name:"planted instances always satisfiable" ~count:30
+      (pair small_int (int_range 5 40))
+      (fun (seed, n_vars) ->
+        let r = Lv_stats.Rng.create ~seed in
+        let cnf, hidden =
+          Lv_algos.Sat_gen.planted_3sat ~rng:r ~n_vars:(n_vars + 3)
+            ~n_clauses:((n_vars + 3) * 3)
+        in
+        Lv_algos.Cnf.satisfies cnf hidden);
+    Test.make ~name:"count_satisfied bounded by clause count" ~count:50
+      (pair small_int (int_range 4 30))
+      (fun (seed, n_vars) ->
+        let r = Lv_stats.Rng.create ~seed in
+        let cnf =
+          Lv_algos.Sat_gen.random_ksat ~rng:r ~n_vars ~n_clauses:(3 * n_vars) ~k:3
+        in
+        let a = Array.init n_vars (fun _ -> Lv_stats.Rng.uniform r < 0.5) in
+        let c = Lv_algos.Cnf.count_satisfied cnf a in
+        c >= 0 && c <= Lv_algos.Cnf.n_clauses cnf);
+  ]
+
+let () =
+  Alcotest.run "lv_algos"
+    [
+      ( "cnf",
+        [
+          Alcotest.test_case "basics" `Quick test_cnf_basics;
+          Alcotest.test_case "satisfaction" `Quick test_cnf_satisfaction;
+          Alcotest.test_case "validation" `Quick test_cnf_validation;
+          Alcotest.test_case "dimacs round-trip" `Quick test_cnf_dimacs_roundtrip;
+          Alcotest.test_case "dimacs parsing" `Quick test_cnf_dimacs_parsing;
+        ] );
+      ( "sat_gen",
+        [
+          Alcotest.test_case "ksat shape" `Quick test_random_ksat_shape;
+          Alcotest.test_case "ratio" `Quick test_ratio_generator;
+          Alcotest.test_case "planted satisfiable" `Quick test_planted_is_satisfiable;
+        ] );
+      ( "walksat",
+        [
+          Alcotest.test_case "solves planted" `Quick test_walksat_solves_planted;
+          Alcotest.test_case "deterministic" `Quick test_walksat_deterministic;
+          Alcotest.test_case "flip budget" `Quick test_walksat_flip_budget;
+          Alcotest.test_case "tries" `Quick test_walksat_tries;
+          Alcotest.test_case "stop hook" `Quick test_walksat_stop_hook;
+          Alcotest.test_case "trivial formula" `Quick test_walksat_trivial_formula;
+          Alcotest.test_case "validation" `Quick test_walksat_validation;
+          Alcotest.test_case "Las Vegas runtimes" `Quick test_walksat_runtime_is_las_vegas;
+        ] );
+      ( "rquicksort",
+        [
+          Alcotest.test_case "sorts" `Quick test_quicksort_sorts;
+          Alcotest.test_case "mean comparisons" `Slow test_quicksort_comparison_count_mean;
+          Alcotest.test_case "edge cases" `Quick test_quicksort_edge_cases;
+          Alcotest.test_case "concentration" `Slow test_quicksort_concentration;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

@@ -1,0 +1,536 @@
+(* Tests for the prediction core: the multi-walk transform against closed
+   forms and Monte Carlo, speed-up curves against the paper's published
+   values (Table 5 regression), the fitting pipeline on synthetic data, the
+   end-to-end prediction, and the paper-data module itself. *)
+
+open Lv_stats
+open Lv_core
+
+let rel_err expected actual =
+  if expected = 0. then abs_float actual else abs_float ((actual -. expected) /. expected)
+
+let check_rel ?(tol = 1e-9) name expected actual =
+  if rel_err expected actual > tol then
+    Alcotest.failf "%s: expected %.10g, got %.10g (rel err %.3g)" name expected
+      actual (rel_err expected actual)
+
+(* ------------------------------------------------------------------ *)
+(* Min_dist                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_min_dist_cdf_formula () =
+  (* F_Z = 1 - (1 - F_Y)^n, checked pointwise. *)
+  let d = Exponential.create ~rate:0.01 in
+  List.iter
+    (fun (n, x) ->
+      let f = d.Distribution.cdf x in
+      check_rel ~tol:1e-12
+        (Printf.sprintf "F_Z n=%d x=%g" n x)
+        (1. -. ((1. -. f) ** float_of_int n))
+        (Min_dist.cdf d ~n x))
+    [ (1, 50.); (2, 100.); (10, 30.); (100, 5.) ]
+
+let test_min_dist_pdf_formula () =
+  let d = Lognormal.create ~mu:5. ~sigma:1. in
+  List.iter
+    (fun (n, x) ->
+      let f = d.Distribution.cdf x and p = d.Distribution.pdf x in
+      check_rel ~tol:1e-10
+        (Printf.sprintf "f_Z n=%d x=%g" n x)
+        (float_of_int n *. p *. ((1. -. f) ** float_of_int (n - 1)))
+        (Min_dist.pdf d ~n x))
+    [ (2, 100.); (8, 50.); (64, 20.) ]
+
+let test_min_dist_exponential_is_exponential () =
+  (* min of n exponential(λ) is exponential(nλ): check the full law. *)
+  let d = Exponential.create ~rate:0.001 in
+  let z8 = Min_dist.distribution d ~n:8 in
+  let ref8 = Exponential.create ~rate:0.008 in
+  List.iter
+    (fun x ->
+      check_rel ~tol:1e-9 (Printf.sprintf "cdf at %g" x) (ref8.Distribution.cdf x)
+        (z8.Distribution.cdf x))
+    [ 10.; 100.; 500. ];
+  check_rel ~tol:1e-9 "mean" 125. z8.Distribution.mean
+
+let test_min_dist_n1_identity () =
+  let d = Lognormal.create ~mu:3. ~sigma:0.5 in
+  let z = Min_dist.distribution d ~n:1 in
+  Alcotest.(check string) "same law" d.Distribution.name z.Distribution.name;
+  check_rel ~tol:1e-12 "same mean" d.Distribution.mean z.Distribution.mean
+
+let test_min_dist_expectation_closed_vs_numeric () =
+  let d = Exponential.shifted ~x0:1217. ~rate:9.15956e-6 in
+  List.iter
+    (fun n ->
+      check_rel ~tol:1e-6
+        (Printf.sprintf "E[Z^%d]" n)
+        (1217. +. (1. /. (float_of_int n *. 9.15956e-6)))
+        (Min_dist.expectation d ~n))
+    [ 1; 16; 256 ]
+
+let test_min_dist_expectation_matches_mc () =
+  let d = Lognormal.shifted ~x0:100. ~mu:4. ~sigma:1.2 in
+  let exact = Min_dist.expectation d ~n:16 in
+  let rng = Rng.create ~seed:77 in
+  let reps = 60_000 in
+  let acc = ref 0. in
+  for _ = 1 to reps do
+    let m = ref infinity in
+    for _ = 1 to 16 do
+      let x = d.Distribution.sample rng in
+      if x < !m then m := x
+    done;
+    acc := !acc +. !m
+  done;
+  let mc = !acc /. float_of_int reps in
+  if rel_err exact mc > 0.02 then Alcotest.failf "E[Z^16] %g vs MC %g" exact mc
+
+let test_min_dist_quantile_sampling () =
+  let d = Exponential.create ~rate:0.01 in
+  let z = Min_dist.distribution d ~n:4 in
+  List.iter
+    (fun p ->
+      check_rel ~tol:1e-8 (Printf.sprintf "quantile %g" p) p
+        (z.Distribution.cdf (z.Distribution.quantile p)))
+    [ 0.1; 0.5; 0.9 ]
+
+let test_exponential_params_detection () =
+  (match Min_dist.exponential_params (Exponential.create ~rate:0.5) with
+  | Some (x0, l) ->
+    Alcotest.(check (float 1e-12)) "x0" 0. x0;
+    Alcotest.(check (float 1e-12)) "lambda" 0.5 l
+  | None -> Alcotest.fail "exponential not detected");
+  (match Min_dist.exponential_params (Exponential.shifted ~x0:10. ~rate:0.5) with
+  | Some (x0, _) -> Alcotest.(check (float 1e-12)) "shift" 10. x0
+  | None -> Alcotest.fail "shifted exponential not detected");
+  Alcotest.(check bool) "lognormal not exponential" true
+    (Min_dist.exponential_params (Lognormal.create ~mu:1. ~sigma:1.) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Speedup                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_speedup_one_core_is_one () =
+  List.iter
+    (fun d -> check_rel ~tol:1e-12 "G_1 = 1" 1. (Speedup.at d ~cores:1))
+    [ Exponential.create ~rate:0.1; Lognormal.create ~mu:2. ~sigma:1. ]
+
+let test_speedup_exponential_linear () =
+  let d = Exponential.create ~rate:0.001 in
+  List.iter
+    (fun n ->
+      check_rel ~tol:1e-9
+        (Printf.sprintf "linear at %d" n)
+        (float_of_int n) (Speedup.at d ~cores:n))
+    [ 2; 16; 128; 1024; 8192 ]
+
+let test_speedup_shifted_exponential_formula () =
+  (* Paper Section 3.3, x0 = 100, λ = 1/1000 (Figure 3): closed form. *)
+  let d = Exponential.shifted ~x0:100. ~rate:0.001 in
+  List.iter
+    (fun n ->
+      let fn = float_of_int n in
+      check_rel ~tol:1e-9
+        (Printf.sprintf "G_%d" n)
+        (1100. /. (100. +. (1000. /. fn)))
+        (Speedup.at d ~cores:n))
+    [ 2; 10; 100; 1000 ];
+  check_rel ~tol:1e-9 "limit 1 + 1/(x0 l)" 11. (Speedup.limit d);
+  check_rel ~tol:1e-9 "tangent x0 l + 1" 1.1 (Speedup.tangent_at_origin d)
+
+let test_speedup_limit_linear_case () =
+  let d = Exponential.create ~rate:0.001 in
+  Alcotest.(check bool) "infinite limit" true (Float.is_infinite (Speedup.limit d))
+
+let test_speedup_monotone_nondecreasing () =
+  let d = Lognormal.shifted ~x0:50. ~mu:4. ~sigma:1. in
+  let pts = Speedup.curve d ~cores:[ 1; 2; 4; 8; 16; 32; 64 ] in
+  let rec go prev = function
+    | [] -> ()
+    | p :: rest ->
+      if p.Speedup.speedup < prev -. 1e-9 then
+        Alcotest.failf "speed-up decreased at %d" p.Speedup.cores;
+      go p.Speedup.speedup rest
+  in
+  go 0. pts
+
+let test_speedup_bounded_by_limit () =
+  let d = Exponential.shifted ~x0:500. ~rate:1e-4 in
+  let lim = Speedup.limit d in
+  List.iter
+    (fun n ->
+      let g = Speedup.at d ~cores:n in
+      if g > lim +. 1e-9 then Alcotest.failf "G_%d = %g exceeds limit %g" n g lim)
+    [ 10; 100; 10_000 ]
+
+let test_speedup_exponential_curve_helper () =
+  let pts = Speedup.exponential_curve ~x0:0. ~rate:0.01 ~cores:[ 1; 7; 50 ] in
+  List.iter
+    (fun p ->
+      check_rel ~tol:1e-12
+        (Printf.sprintf "exact linear %d" p.Speedup.cores)
+        (float_of_int p.Speedup.cores)
+        p.Speedup.speedup)
+    pts
+
+let test_speedup_efficiency () =
+  (* Linear law: efficiency 1 everywhere, so the search hits max_cores. *)
+  let linear = Exponential.create ~rate:0.001 in
+  check_rel ~tol:1e-9 "linear efficiency" 1. (Speedup.efficiency linear ~cores:64);
+  Alcotest.(check int) "linear never drops" 4096
+    (Speedup.cores_for_efficiency ~max_cores:4096 linear ~threshold:0.9);
+  (* Saturating law (Figure 3's parameters): closed-form cross-check.
+     eff(n) = 1100 / (100 n + 1000) >= 0.4  ⇔  n <= 17.5, so 17. *)
+  let saturating = Exponential.shifted ~x0:100. ~rate:0.001 in
+  Alcotest.(check int) "saturating threshold 0.4" 17
+    (Speedup.cores_for_efficiency saturating ~threshold:0.4);
+  (* Efficiency at the boundary really straddles the threshold. *)
+  Alcotest.(check bool) "eff(17) >= 0.4" true
+    (Speedup.efficiency saturating ~cores:17 >= 0.4);
+  Alcotest.(check bool) "eff(18) < 0.4" true
+    (Speedup.efficiency saturating ~cores:18 < 0.4);
+  (match Speedup.cores_for_efficiency saturating ~threshold:1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "threshold 1.5 accepted")
+
+let test_speedup_rejects_infinite_mean () =
+  match Speedup.at (Levy.create ~scale:1.) ~cores:4 with
+  | exception Invalid_argument _ -> ()
+  | v -> Alcotest.failf "Levy speed-up returned %g" v
+
+(* ------------------------------------------------------------------ *)
+(* Table 5 regression: the paper's predicted rows from its parameters   *)
+(* ------------------------------------------------------------------ *)
+
+let test_table5_ai700_predicted () =
+  let law = Paper_data.fitted_law Paper_data.AI700 in
+  List.iter
+    (fun (n, expected) ->
+      let g = Speedup.at law ~cores:n in
+      (* The paper prints 3 significant digits. *)
+      if abs_float (g -. expected) > 0.06 *. Float.max 1. expected then
+        Alcotest.failf "AI700 G_%d: paper %g, model %g" n expected g)
+    (Paper_data.table5_predicted Paper_data.AI700);
+  check_rel ~tol:1e-4 "AI700 limit" 90.7087 (Speedup.limit law)
+
+let test_table5_ms200_predicted () =
+  let law = Paper_data.fitted_law Paper_data.MS200 in
+  List.iter
+    (fun (n, expected) ->
+      let g = Speedup.at law ~cores:n in
+      if abs_float (g -. expected) > 0.06 *. Float.max 1. expected then
+        Alcotest.failf "MS200 G_%d: paper %g, model %g" n expected g)
+    (Paper_data.table5_predicted Paper_data.MS200)
+
+let test_table5_costas21_predicted () =
+  let law = Paper_data.fitted_law Paper_data.Costas21 in
+  List.iter
+    (fun (n, expected) ->
+      check_rel ~tol:1e-6 (Printf.sprintf "Costas21 G_%d" n) expected
+        (Speedup.at law ~cores:n))
+    (Paper_data.table5_predicted Paper_data.Costas21)
+
+let test_paper_data_consistency () =
+  (* Fitted laws reproduce Table 2's means within the paper's rounding. *)
+  let ai = Paper_data.fitted_law Paper_data.AI700 in
+  check_rel ~tol:1e-3 "AI700 mean = Table 2 mean"
+    (Paper_data.table2_iterations Paper_data.AI700).Paper_data.mean
+    ai.Distribution.mean;
+  let costas = Paper_data.fitted_law Paper_data.Costas21 in
+  check_rel ~tol:0.02 "Costas21 mean"
+    (Paper_data.table2_iterations Paper_data.Costas21).Paper_data.mean
+    costas.Distribution.mean;
+  (* Table ordering sanity: min <= median <= mean <= max on every row. *)
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (s : Paper_data.seq_stats) ->
+          Alcotest.(check bool) "ordered" true
+            (s.Paper_data.min <= s.Paper_data.median
+            && s.Paper_data.median <= s.Paper_data.mean
+            && s.Paper_data.mean <= s.Paper_data.max))
+        [ Paper_data.table1_seconds b; Paper_data.table2_iterations b ])
+    Paper_data.benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Fit                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fit_recovers_exponential () =
+  let rng = Rng.create ~seed:201 in
+  let d = Exponential.create ~rate:5.4e-9 in
+  let xs = Distribution.sample_array d rng 650 in
+  let report = Fit.fit xs in
+  match report.Fit.best with
+  | Some f ->
+    (* Exponential data: an exponential-family candidate must be accepted. *)
+    let ok =
+      List.exists
+        (fun g ->
+          g.Fit.ks.Kolmogorov.accept
+          && (g.Fit.candidate = Fit.Exponential || g.Fit.candidate = Fit.Shifted_exponential))
+        report.Fit.accepted
+    in
+    Alcotest.(check bool) "exponential family accepted" true ok;
+    Alcotest.(check bool) "best has max p" true
+      (List.for_all
+         (fun g -> g.Fit.ks.Kolmogorov.p_value <= f.Fit.ks.Kolmogorov.p_value)
+         report.Fit.fits)
+  | None -> Alcotest.fail "nothing accepted on clean exponential data"
+
+let test_fit_recovers_lognormal_rejects_exponential () =
+  let rng = Rng.create ~seed:203 in
+  let d = Lognormal.create ~mu:12. ~sigma:1.34 in
+  let xs = Distribution.sample_array d rng 650 in
+  let report = Fit.fit xs in
+  let find c = List.find_opt (fun f -> f.Fit.candidate = c) report.Fit.fits in
+  (match find Fit.Lognormal with
+  | Some f -> Alcotest.(check bool) "lognormal accepted" true f.Fit.ks.Kolmogorov.accept
+  | None -> Alcotest.fail "lognormal missing");
+  (match find Fit.Exponential with
+  | Some f ->
+    Alcotest.(check bool) "exponential rejected on lognormal data" false
+      f.Fit.ks.Kolmogorov.accept
+  | None -> Alcotest.fail "exponential missing");
+  (* The paper's observation: gaussian and Lévy fail on runtime data. *)
+  (match find Fit.Normal with
+  | Some f -> Alcotest.(check bool) "normal rejected" false f.Fit.ks.Kolmogorov.accept
+  | None -> Alcotest.fail "normal missing")
+
+let test_fit_one_inapplicable () =
+  (* Lognormal cannot be estimated on data containing zero. *)
+  Alcotest.(check bool) "lognormal on zero data" true
+    (Fit.fit_one Fit.Lognormal [| 0.; 1.; 2. |] = None)
+
+let test_fit_candidate_names_roundtrip () =
+  List.iter
+    (fun c ->
+      match Fit.candidate_of_string (Fit.candidate_name c) with
+      | Some c' -> Alcotest.(check bool) "round trip" true (c = c')
+      | None -> Alcotest.failf "no round trip for %s" (Fit.candidate_name c))
+    Fit.all_candidates;
+  Alcotest.(check bool) "unknown name" true (Fit.candidate_of_string "zeta" = None)
+
+let test_fit_prefers_shifted_variant () =
+  (* Data with a genuine shift: when both exponential flavours are accepted
+     the shifted one must end up as [best], whatever the p-value coin toss
+     says. *)
+  let rng = Rng.create ~seed:205 in
+  let d = Exponential.shifted ~x0:2_000. ~rate:1e-4 in
+  let xs = Distribution.sample_array d rng 650 in
+  let report = Fit.fit ~candidates:Fit.paper_candidates xs in
+  let accepted c =
+    List.exists (fun f -> f.Fit.candidate = c) report.Fit.accepted
+  in
+  if accepted Fit.Exponential && accepted Fit.Shifted_exponential then
+    match report.Fit.best with
+    | Some f ->
+      Alcotest.(check string) "shifted preferred" "shifted-exponential"
+        (Fit.candidate_name f.Fit.candidate)
+    | None -> Alcotest.fail "nothing accepted"
+
+let test_fit_subset_of_candidates () =
+  let rng = Rng.create ~seed:207 in
+  let xs = Distribution.sample_array (Exponential.create ~rate:1.) rng 300 in
+  let report = Fit.fit ~candidates:[ Fit.Exponential; Fit.Normal ] xs in
+  Alcotest.(check int) "only requested candidates" 2 (List.length report.Fit.fits)
+
+(* ------------------------------------------------------------------ *)
+(* Predict                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_predict_of_distribution_replays_paper () =
+  let p =
+    Predict.of_distribution ~label:"AI 700" ~cores:Paper_data.cores
+      (Paper_data.fitted_law Paper_data.AI700)
+  in
+  let rows = Predict.compare p ~measured:(Paper_data.table5_experimental Paper_data.AI700) in
+  Alcotest.(check int) "all core counts joined" 5 (List.length rows);
+  (* The paper's own accuracy claim: deviation bounded by ~30% up to 256. *)
+  Alcotest.(check bool) "within the paper's deviation band" true
+    (Predict.max_abs_relative_error rows < 0.45)
+
+let test_predict_of_dataset_end_to_end () =
+  let rng = Rng.create ~seed:211 in
+  (* x0 comparable to 1/λ so the shift is statistically identifiable — with
+     x0 << 1/λ the pipeline may legitimately pick the plain exponential, the
+     paper's own Costas 21 observation. *)
+  let law = Exponential.shifted ~x0:50_000. ~rate:1e-5 in
+  let ds = Lv_multiwalk.Dataset.synthetic ~label:"synthetic" law ~rng 650 in
+  let p = Predict.of_dataset ~cores:[ 2; 16; 256 ] ds in
+  (* The fitted law should be close to the truth; compare speed-ups. *)
+  List.iter
+    (fun pt ->
+      let truth = Speedup.at law ~cores:pt.Speedup.cores in
+      if rel_err truth pt.Speedup.speedup > 0.12 then
+        Alcotest.failf "predicted %g vs true %g at %d" pt.Speedup.speedup truth
+          pt.Speedup.cores)
+    p.Predict.curve;
+  Alcotest.(check bool) "fit report present" true (p.Predict.fit.Fit.sample_size = 650)
+
+let test_predict_compare_drops_unmatched () =
+  let p =
+    Predict.of_distribution ~label:"x" ~cores:[ 2; 4 ] (Exponential.create ~rate:1.)
+  in
+  let rows = Predict.compare p ~measured:[ (4, 4.2); (99, 1.) ] in
+  Alcotest.(check int) "only matching cores" 1 (List.length rows);
+  let r = List.hd rows in
+  Alcotest.(check int) "core 4" 4 r.Predict.cores;
+  check_rel ~tol:1e-9 "relative error" ((4. -. 4.2) /. 4.2) r.Predict.relative_error
+
+let test_predict_relative_error_sign () =
+  let p = Predict.of_distribution ~label:"x" ~cores:[ 8 ] (Exponential.create ~rate:1.) in
+  let rows = Predict.compare p ~measured:[ (8, 4.) ] in
+  (* Prediction 8 vs measured 4: overprediction, positive error. *)
+  Alcotest.(check bool) "overprediction positive" true
+    ((List.hd rows).Predict.relative_error > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Bridge: plug-in measurement vs analytic model                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_plugin_matches_model_on_synthetic_pool () =
+  (* The empirical multi-walk estimator over a large synthetic pool must
+     agree with the analytic E[Z^(n)] of the generating law — the identity
+     that lets the reproduction stand in for the paper's cluster. *)
+  let rng = Rng.create ~seed:220 in
+  let law = Lognormal.shifted ~x0:500. ~mu:7. ~sigma:1.1 in
+  let pool = Lv_multiwalk.Dataset.synthetic ~label:"bridge" law ~rng 30_000 in
+  let emp = Lv_multiwalk.Dataset.empirical pool in
+  List.iter
+    (fun n ->
+      let analytic = Min_dist.expectation law ~n in
+      let plugin = Lv_multiwalk.Sim.expected_runtime emp ~cores:n in
+      if rel_err analytic plugin > 0.05 then
+        Alcotest.failf "n=%d: analytic %g vs plug-in %g" n analytic plugin)
+    [ 1; 4; 16; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_table_alignment () =
+  let s =
+    Report.table ~title:"T" ~header:[ "a"; "bb" ]
+      ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  (* Each printed row has the same width. *)
+  (match String.split_on_char '\n' (String.trim s) with
+  | _ :: header :: _sep :: rows ->
+    List.iter
+      (fun r -> Alcotest.(check int) "width" (String.length header) (String.length r))
+      rows
+  | _ -> Alcotest.fail "table shape")
+
+let test_report_float_cell () =
+  Alcotest.(check string) "integer" "42" (Report.float_cell 42.);
+  Alcotest.(check string) "nan" "-" (Report.float_cell nan);
+  Alcotest.(check string) "decimals" "3.14" (Report.float_cell ~decimals:2 3.14159)
+
+let test_report_speedup_series () =
+  let s =
+    Report.speedup_series ~title:"curve"
+      [ { Speedup.cores = 1; speedup = 1. }; { Speedup.cores = 2; speedup = 2. } ]
+  in
+  Alcotest.(check bool) "mentions title" true (String.length s > 5)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"exponential speed-up below core count (x0 > 0)" ~count:100
+      (pair (float_range 1. 1e4) (float_range 1e-6 1.))
+      (fun (x0, rate) ->
+        let d = Exponential.shifted ~x0 ~rate in
+        Speedup.at d ~cores:16 <= 16. +. 1e-9);
+    Test.make ~name:"min-dist cdf dominates base cdf" ~count:100
+      (pair (float_range 0. 1000.) (int_range 2 50))
+      (fun (x, n) ->
+        let d = Exponential.create ~rate:0.01 in
+        Min_dist.cdf d ~n x >= d.Distribution.cdf x -. 1e-12);
+    Test.make ~name:"speed-up of exponential equals n exactly" ~count:50
+      (pair (int_range 1 2000) (float_range 1e-6 10.))
+      (fun (n, rate) ->
+        let d = Exponential.create ~rate in
+        rel_err (float_of_int n) (Speedup.at d ~cores:n) < 1e-9);
+    Test.make ~name:"compare join size bounded" ~count:50
+      (list_of_size (Gen.int_range 0 10) (int_range 1 64))
+      (fun cores ->
+        let cores = List.sort_uniq compare cores in
+        if cores = [] then true
+        else begin
+          let p =
+            Predict.of_distribution ~label:"q" ~cores (Exponential.create ~rate:1.)
+          in
+          let measured = List.map (fun c -> (c, 1.)) cores in
+          List.length (Predict.compare p ~measured) = List.length cores
+        end);
+  ]
+
+let () =
+  Alcotest.run "lv_core"
+    [
+      ( "min_dist",
+        [
+          Alcotest.test_case "cdf formula" `Quick test_min_dist_cdf_formula;
+          Alcotest.test_case "pdf formula" `Quick test_min_dist_pdf_formula;
+          Alcotest.test_case "exponential closure" `Quick test_min_dist_exponential_is_exponential;
+          Alcotest.test_case "n=1 identity" `Quick test_min_dist_n1_identity;
+          Alcotest.test_case "closed vs numeric expectation" `Quick test_min_dist_expectation_closed_vs_numeric;
+          Alcotest.test_case "expectation vs Monte Carlo" `Slow test_min_dist_expectation_matches_mc;
+          Alcotest.test_case "quantile of the min law" `Quick test_min_dist_quantile_sampling;
+          Alcotest.test_case "exponential detection" `Quick test_exponential_params_detection;
+        ] );
+      ( "speedup",
+        [
+          Alcotest.test_case "G_1 = 1" `Quick test_speedup_one_core_is_one;
+          Alcotest.test_case "exponential is linear" `Quick test_speedup_exponential_linear;
+          Alcotest.test_case "shifted exponential closed form" `Quick test_speedup_shifted_exponential_formula;
+          Alcotest.test_case "linear case has no limit" `Quick test_speedup_limit_linear_case;
+          Alcotest.test_case "monotone" `Quick test_speedup_monotone_nondecreasing;
+          Alcotest.test_case "bounded by limit" `Quick test_speedup_bounded_by_limit;
+          Alcotest.test_case "curve helper" `Quick test_speedup_exponential_curve_helper;
+          Alcotest.test_case "efficiency and provisioning" `Quick test_speedup_efficiency;
+          Alcotest.test_case "infinite mean rejected" `Quick test_speedup_rejects_infinite_mean;
+        ] );
+      ( "table5 regression",
+        [
+          Alcotest.test_case "AI 700 predicted row" `Quick test_table5_ai700_predicted;
+          Alcotest.test_case "MS 200 predicted row" `Quick test_table5_ms200_predicted;
+          Alcotest.test_case "Costas 21 predicted row" `Quick test_table5_costas21_predicted;
+          Alcotest.test_case "paper data consistency" `Quick test_paper_data_consistency;
+        ] );
+      ( "fit",
+        [
+          Alcotest.test_case "recovers exponential" `Quick test_fit_recovers_exponential;
+          Alcotest.test_case "lognormal vs exponential" `Quick test_fit_recovers_lognormal_rejects_exponential;
+          Alcotest.test_case "inapplicable candidate" `Quick test_fit_one_inapplicable;
+          Alcotest.test_case "candidate names" `Quick test_fit_candidate_names_roundtrip;
+          Alcotest.test_case "shifted variant preferred" `Quick test_fit_prefers_shifted_variant;
+          Alcotest.test_case "candidate subsets" `Quick test_fit_subset_of_candidates;
+        ] );
+      ( "predict",
+        [
+          Alcotest.test_case "replays the paper" `Quick test_predict_of_distribution_replays_paper;
+          Alcotest.test_case "end to end on synthetic data" `Quick test_predict_of_dataset_end_to_end;
+          Alcotest.test_case "compare join" `Quick test_predict_compare_drops_unmatched;
+          Alcotest.test_case "error sign" `Quick test_predict_relative_error_sign;
+        ] );
+      ( "bridge",
+        [
+          Alcotest.test_case "plug-in = model on synthetic pools" `Slow
+            test_plugin_matches_model_on_synthetic_pool;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table alignment" `Quick test_report_table_alignment;
+          Alcotest.test_case "float cells" `Quick test_report_float_cell;
+          Alcotest.test_case "series" `Quick test_report_speedup_series;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

@@ -1,0 +1,255 @@
+(* Tests for the size-extrapolation extension and the TTT diagnostics. *)
+
+open Lv_core
+
+let dataset_of law ~seed ~n ~label =
+  let rng = Lv_stats.Rng.create ~seed in
+  Lv_multiwalk.Dataset.synthetic ~label law ~rng n
+
+(* ------------------------------------------------------------------ *)
+(* Power-law regression                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_power_law_exact () =
+  (* v = 3 x^2 recovered exactly from noise-free points. *)
+  let pairs = List.map (fun x -> (x, 3. *. (x ** 2.))) [ 1.; 2.; 4.; 8. ] in
+  let pl = Extrapolate.fit_power_law pairs in
+  Alcotest.(check (float 1e-9)) "coefficient" 3. pl.Extrapolate.coefficient;
+  Alcotest.(check (float 1e-9)) "exponent" 2. pl.Extrapolate.exponent;
+  Alcotest.(check (float 1e-6)) "evaluation" 300.
+    (Extrapolate.eval_power_law pl 10.)
+
+let test_power_law_negative_exponent () =
+  let pairs = List.map (fun x -> (x, 5. /. x)) [ 1.; 3.; 9. ] in
+  let pl = Extrapolate.fit_power_law pairs in
+  Alcotest.(check (float 1e-9)) "exponent -1" (-1.) pl.Extrapolate.exponent
+
+let test_power_law_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "one point" (fun () -> Extrapolate.fit_power_law [ (1., 1.) ]);
+  expect_invalid "nonpositive value" (fun () ->
+      Extrapolate.fit_power_law [ (1., 1.); (2., -3.) ]);
+  expect_invalid "degenerate x" (fun () ->
+      Extrapolate.fit_power_law [ (2., 1.); (2., 3.) ])
+
+(* ------------------------------------------------------------------ *)
+(* Stable family selection                                             *)
+(* ------------------------------------------------------------------ *)
+
+let exponential_observations () =
+  (* Synthetic campaign family: exponential with λ(size) = 10 / size^2. *)
+  List.map
+    (fun size ->
+      let rate = 10. /. (float_of_int size ** 2.) in
+      {
+        Extrapolate.size;
+        dataset =
+          dataset_of
+            (Lv_stats.Exponential.create ~rate)
+            ~seed:(300 + size) ~n:400
+            ~label:(Printf.sprintf "exp-%d" size);
+      })
+    [ 8; 12; 16; 24 ]
+
+let test_stable_family_found () =
+  match Extrapolate.stable_family (exponential_observations ()) with
+  | Some choice ->
+    (* The winning family must be in the exponential family. *)
+    Alcotest.(check bool) "exponential family" true
+      (choice.Extrapolate.candidate = Fit.Exponential
+      || choice.Extrapolate.candidate = Fit.Shifted_exponential);
+    Alcotest.(check int) "all sizes fitted" 4 (List.length choice.Extrapolate.fits)
+  | None -> Alcotest.fail "no stable family on clean exponential data"
+
+let test_stable_family_none_when_pool_wrong () =
+  (* Restrict the pool to normal only: runtime-like data rejects it. *)
+  let obs = exponential_observations () in
+  Alcotest.(check bool) "normal-only pool fails" true
+    (Extrapolate.stable_family ~candidates:[ Fit.Normal ] obs = None)
+
+let test_stable_family_needs_two () =
+  match Extrapolate.stable_family [ List.hd (exponential_observations ()) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "single size accepted"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end extrapolation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_predict_recovers_parameter_scaling () =
+  let obs = exponential_observations () in
+  match
+    Extrapolate.predict ~target_size:32 ~cores:[ 16; 256 ]
+      ~candidates:[ Fit.Exponential ] obs
+  with
+  | Error e -> Alcotest.failf "extrapolation failed: %s" e
+  | Ok p ->
+    (* λ(32) should be close to 10/32² ≈ 0.009766. *)
+    let lambda = List.assoc "lambda" p.Extrapolate.law.Lv_stats.Distribution.params in
+    let expected = 10. /. (32. ** 2.) in
+    if abs_float (lambda -. expected) /. expected > 0.1 then
+      Alcotest.failf "extrapolated lambda %g vs %g" lambda expected;
+    (* Exponential: predicted speed-up stays linear. *)
+    List.iter
+      (fun pt ->
+        Alcotest.(check (float 1e-6)) "linear"
+          (float_of_int pt.Speedup.cores)
+          pt.Speedup.speedup)
+      p.Extrapolate.curve
+
+let test_predict_shifted_family () =
+  (* Shifted exponential with x0(size) = 20·size and 1/λ = 200·size. *)
+  let obs =
+    List.map
+      (fun size ->
+        let fsize = float_of_int size in
+        {
+          Extrapolate.size;
+          dataset =
+            dataset_of
+              (Lv_stats.Exponential.shifted ~x0:(20. *. fsize)
+                 ~rate:(1. /. (200. *. fsize)))
+              ~seed:(500 + size) ~n:500
+              ~label:(Printf.sprintf "sexp-%d" size);
+        })
+      [ 10; 14; 20; 28 ]
+  in
+  match
+    Extrapolate.predict ~target_size:40 ~cores:[ 64 ]
+      ~candidates:[ Fit.Shifted_exponential ] obs
+  with
+  | Error e -> Alcotest.failf "failed: %s" e
+  | Ok p ->
+    (* The speed-up limit 1 + 1/(x0 λ) = 1 + 200/20 = 11 is size-free:
+       extrapolation should land near it. *)
+    if abs_float (p.Extrapolate.limit -. 11.) > 1.5 then
+      Alcotest.failf "extrapolated limit %g, expected ~11" p.Extrapolate.limit
+
+let test_predict_error_cases () =
+  let obs = exponential_observations () in
+  (match Extrapolate.predict ~target_size:0 ~cores:[ 2 ] obs with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "target_size 0 accepted");
+  (match Extrapolate.predict ~target_size:32 ~cores:[ 2 ] ~candidates:[ Fit.Normal ] obs with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "normal-only pool should fail")
+
+(* ------------------------------------------------------------------ *)
+(* Fit.instantiate                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_instantiate_roundtrip () =
+  (* Fitting then instantiating from the fitted parameters rebuilds the same
+     law. *)
+  let rng = Lv_stats.Rng.create ~seed:5 in
+  let xs =
+    Lv_stats.Distribution.sample_array (Lv_stats.Lognormal.create ~mu:3. ~sigma:0.8) rng 500
+  in
+  match Fit.fit_one Fit.Lognormal xs with
+  | Some f ->
+    let rebuilt = Fit.instantiate Fit.Lognormal f.Fit.dist.Lv_stats.Distribution.params in
+    Alcotest.(check (float 1e-9)) "same mean" f.Fit.dist.Lv_stats.Distribution.mean
+      rebuilt.Lv_stats.Distribution.mean
+  | None -> Alcotest.fail "lognormal fit failed"
+
+let test_instantiate_all_families () =
+  List.iter
+    (fun (c, params) ->
+      let d = Fit.instantiate c params in
+      Alcotest.(check bool)
+        (Fit.candidate_name c ^ " cdf sane")
+        true
+        (d.Lv_stats.Distribution.cdf 1e12 > 0.99))
+    [
+      (Fit.Exponential, [ ("lambda", 0.01) ]);
+      (Fit.Shifted_exponential, [ ("x0", 5.); ("lambda", 0.01) ]);
+      (Fit.Lognormal, [ ("mu", 2.); ("sigma", 1.) ]);
+      (Fit.Shifted_lognormal, [ ("x0", 3.); ("mu", 2.); ("sigma", 1.) ]);
+      (Fit.Normal, [ ("mu", 0.); ("sigma", 1.) ]);
+      (Fit.Weibull, [ ("shape", 1.5); ("scale", 10.) ]);
+      (Fit.Gamma, [ ("shape", 2.); ("rate", 0.1) ]);
+      (Fit.Levy, [ ("c", 1.) ]);
+    ]
+
+let test_instantiate_missing_param () =
+  match Fit.instantiate Fit.Exponential [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing lambda accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Ttt                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ttt_points () =
+  let pts = Ttt.points [| 30.; 10.; 20. |] in
+  Alcotest.(check int) "count" 3 (List.length pts);
+  (match pts with
+  | [ a; b; c ] ->
+    Alcotest.(check (float 1e-12)) "sorted first" 10. a.Ttt.runtime;
+    Alcotest.(check (float 1e-12)) "sorted last" 30. c.Ttt.runtime;
+    Alcotest.(check (float 1e-12)) "plotting position 1" (0.5 /. 3.) a.Ttt.probability;
+    Alcotest.(check (float 1e-12)) "plotting position 2" (1.5 /. 3.) b.Ttt.probability
+  | _ -> Alcotest.fail "shape");
+  match Ttt.points [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty accepted"
+
+let test_ttt_qq_straight_for_true_law () =
+  let law = Lv_stats.Exponential.create ~rate:0.01 in
+  let rng = Lv_stats.Rng.create ~seed:21 in
+  let xs = Lv_stats.Distribution.sample_array law rng 500 in
+  let r = Ttt.qq_correlation xs law in
+  Alcotest.(check bool) "high correlation for the true law" true (r > 0.98)
+
+let test_ttt_qq_bent_for_wrong_law () =
+  let law = Lv_stats.Lognormal.create ~mu:3. ~sigma:1.5 in
+  let rng = Lv_stats.Rng.create ~seed:23 in
+  let xs = Lv_stats.Distribution.sample_array law rng 500 in
+  let wrong = Lv_stats.Uniform.create ~lo:0. ~hi:(2. *. Lv_stats.Summary.mean xs) in
+  let r_true = Ttt.qq_correlation xs law in
+  let r_wrong = Ttt.qq_correlation xs wrong in
+  Alcotest.(check bool) "true law straighter" true (r_true > r_wrong)
+
+let test_ttt_render () =
+  let s = Ttt.render (Array.init 100 (fun i -> float_of_int (i + 1))) in
+  Alcotest.(check bool) "has content" true (String.length s > 100)
+
+let () =
+  Alcotest.run "lv_extrapolate"
+    [
+      ( "power_law",
+        [
+          Alcotest.test_case "exact recovery" `Quick test_power_law_exact;
+          Alcotest.test_case "negative exponent" `Quick test_power_law_negative_exponent;
+          Alcotest.test_case "validation" `Quick test_power_law_validation;
+        ] );
+      ( "stable_family",
+        [
+          Alcotest.test_case "found on clean data" `Quick test_stable_family_found;
+          Alcotest.test_case "none for wrong pool" `Quick test_stable_family_none_when_pool_wrong;
+          Alcotest.test_case "needs two sizes" `Quick test_stable_family_needs_two;
+        ] );
+      ( "predict",
+        [
+          Alcotest.test_case "recovers scaling" `Quick test_predict_recovers_parameter_scaling;
+          Alcotest.test_case "shifted family limit" `Slow test_predict_shifted_family;
+          Alcotest.test_case "error cases" `Quick test_predict_error_cases;
+        ] );
+      ( "instantiate",
+        [
+          Alcotest.test_case "round-trip" `Quick test_instantiate_roundtrip;
+          Alcotest.test_case "all families" `Quick test_instantiate_all_families;
+          Alcotest.test_case "missing parameter" `Quick test_instantiate_missing_param;
+        ] );
+      ( "ttt",
+        [
+          Alcotest.test_case "points" `Quick test_ttt_points;
+          Alcotest.test_case "Q-Q straight for true law" `Quick test_ttt_qq_straight_for_true_law;
+          Alcotest.test_case "Q-Q bent for wrong law" `Quick test_ttt_qq_bent_for_wrong_law;
+          Alcotest.test_case "render" `Quick test_ttt_render;
+        ] );
+    ]

@@ -1,0 +1,332 @@
+(* Tests for the multi-walk layer: dataset CSV round-trips, campaign
+   determinism and domain-independence, the statistical simulator against
+   closed forms, and the domain-based races. *)
+
+let tmp_file suffix = Filename.temp_file "lv_test" suffix
+
+(* ------------------------------------------------------------------ *)
+(* Dataset                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_dataset_create () =
+  let ds = Lv_multiwalk.Dataset.create ~label:"x" ~metric:"iterations" [| 3.; 1.; 2. |] in
+  Alcotest.(check int) "size" 3 (Lv_multiwalk.Dataset.size ds);
+  let s = Lv_multiwalk.Dataset.summary ds in
+  Alcotest.(check (float 1e-12)) "mean" 2. s.Lv_stats.Summary.mean;
+  (* The stored values are a copy. *)
+  let src = [| 5.; 6. |] in
+  let ds = Lv_multiwalk.Dataset.create ~label:"y" ~metric:"m" src in
+  src.(0) <- 99.;
+  Alcotest.(check (float 1e-12)) "copied" 5. ds.Lv_multiwalk.Dataset.values.(0);
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Dataset.create: empty dataset") (fun () ->
+      ignore (Lv_multiwalk.Dataset.create ~label:"z" ~metric:"m" [||]))
+
+let test_dataset_csv_roundtrip () =
+  let path = tmp_file ".csv" in
+  let values = Array.init 100 (fun i -> float_of_int (i * i) +. 0.5) in
+  let ds = Lv_multiwalk.Dataset.create ~label:"roundtrip" ~metric:"iterations" values in
+  Lv_multiwalk.Dataset.save_csv ds path;
+  let back = Lv_multiwalk.Dataset.load_csv path in
+  Alcotest.(check string) "label" "roundtrip" back.Lv_multiwalk.Dataset.label;
+  Alcotest.(check string) "metric" "iterations" back.Lv_multiwalk.Dataset.metric;
+  Alcotest.(check int) "size" 100 (Lv_multiwalk.Dataset.size back);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-12)) (Printf.sprintf "value %d" i) values.(i) v)
+    back.Lv_multiwalk.Dataset.values;
+  Sys.remove path
+
+let test_dataset_load_plain_csv () =
+  let path = tmp_file ".csv" in
+  let oc = open_out path in
+  output_string oc "value\n10.5\n20.5\n30.5\n";
+  close_out oc;
+  let ds = Lv_multiwalk.Dataset.load_csv ~label:"plain" ~metric:"seconds" path in
+  Alcotest.(check int) "rows" 3 (Lv_multiwalk.Dataset.size ds);
+  Alcotest.(check (float 1e-12)) "first" 10.5 ds.Lv_multiwalk.Dataset.values.(0);
+  Sys.remove path
+
+let test_dataset_of_observations_filters () =
+  let obs =
+    [
+      { Lv_multiwalk.Run.seconds = 1.; iterations = 10; solved = true };
+      { Lv_multiwalk.Run.seconds = 2.; iterations = 20; solved = false };
+      { Lv_multiwalk.Run.seconds = 3.; iterations = 30; solved = true };
+    ]
+  in
+  let ds = Lv_multiwalk.Dataset.of_observations ~label:"f" ~metric:`Iterations obs in
+  Alcotest.(check int) "unsolved dropped" 2 (Lv_multiwalk.Dataset.size ds);
+  Alcotest.(check (float 1e-12)) "kept order" 10. ds.Lv_multiwalk.Dataset.values.(0);
+  let ds = Lv_multiwalk.Dataset.of_observations ~label:"f" ~metric:`Seconds obs in
+  Alcotest.(check (float 1e-12)) "seconds metric" 3. ds.Lv_multiwalk.Dataset.values.(1)
+
+let test_dataset_synthetic () =
+  let rng = Lv_stats.Rng.create ~seed:5 in
+  let d = Lv_stats.Exponential.create ~rate:0.001 in
+  let ds = Lv_multiwalk.Dataset.synthetic ~label:"synth" d ~rng 5000 in
+  Alcotest.(check int) "size" 5000 (Lv_multiwalk.Dataset.size ds);
+  let m = (Lv_multiwalk.Dataset.summary ds).Lv_stats.Summary.mean in
+  if abs_float (m -. 1000.) > 60. then Alcotest.failf "synthetic mean %g vs 1000" m
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let queens_campaign ?(runs = 30) ?(domains = 1) () =
+  Lv_multiwalk.Campaign.run ~domains ~label:"queens-15" ~seed:100 ~runs (fun () ->
+      Lv_problems.Queens.pack 15)
+
+let test_campaign_basic () =
+  let c = queens_campaign () in
+  Alcotest.(check int) "all runs present" 30 (List.length c.Lv_multiwalk.Campaign.observations);
+  Alcotest.(check int) "all solved" 0 c.Lv_multiwalk.Campaign.n_unsolved;
+  Alcotest.(check int) "dataset size" 30
+    (Lv_multiwalk.Dataset.size c.Lv_multiwalk.Campaign.iterations)
+
+let test_campaign_deterministic () =
+  let c1 = queens_campaign () and c2 = queens_campaign () in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check int) "same iterations" a.Lv_multiwalk.Run.iterations
+        b.Lv_multiwalk.Run.iterations)
+    c1.Lv_multiwalk.Campaign.observations c2.Lv_multiwalk.Campaign.observations
+
+let test_campaign_domain_count_invariant () =
+  (* Seeding is per run index, so the iteration counts must not depend on
+     the number of worker domains. *)
+  let c1 = queens_campaign ~domains:1 () and c2 = queens_campaign ~domains:3 () in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check int) "domain-invariant" a.Lv_multiwalk.Run.iterations
+        b.Lv_multiwalk.Run.iterations)
+    c1.Lv_multiwalk.Campaign.observations c2.Lv_multiwalk.Campaign.observations
+
+let test_campaign_progress_called () =
+  let count = Atomic.make 0 in
+  let _ =
+    Lv_multiwalk.Campaign.run ~label:"p" ~seed:1 ~runs:10
+      ~progress:(fun _ -> Atomic.incr count)
+      (fun () -> Lv_problems.Queens.pack 10)
+  in
+  Alcotest.(check int) "progress per run" 10 (Atomic.get count)
+
+let test_campaign_run_fn_generic () =
+  (* run_fn drives any Las Vegas algorithm: here a synthetic geometric-like
+     runtime built directly from the generator. *)
+  let c =
+    Lv_multiwalk.Campaign.run_fn ~label:"generic" ~seed:7 ~runs:50 (fun () rng ->
+        let iterations = 1 + Lv_stats.Rng.int rng 100 in
+        { Lv_multiwalk.Run.seconds = 0.; iterations; solved = true })
+  in
+  Alcotest.(check int) "runs" 50 (Lv_multiwalk.Dataset.size c.Lv_multiwalk.Campaign.iterations);
+  Alcotest.(check int) "all solved" 0 c.Lv_multiwalk.Campaign.n_unsolved;
+  (* Same seeding contract as the CSP campaign: per-run seeds. *)
+  let c2 =
+    Lv_multiwalk.Campaign.run_fn ~label:"generic" ~seed:7 ~runs:50 (fun () rng ->
+        let iterations = 1 + Lv_stats.Rng.int rng 100 in
+        { Lv_multiwalk.Run.seconds = 0.; iterations; solved = true })
+  in
+  Alcotest.(check bool) "deterministic" true
+    (c.Lv_multiwalk.Campaign.iterations.Lv_multiwalk.Dataset.values
+    = c2.Lv_multiwalk.Campaign.iterations.Lv_multiwalk.Dataset.values)
+
+let test_campaign_rejects_bad_args () =
+  Alcotest.check_raises "zero runs" (Invalid_argument "Campaign.run: runs must be positive")
+    (fun () ->
+      ignore
+        (Lv_multiwalk.Campaign.run ~label:"x" ~seed:1 ~runs:0 (fun () ->
+             Lv_problems.Queens.pack 10)))
+
+(* ------------------------------------------------------------------ *)
+(* Sim                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_speedup_one_core () =
+  let ds = Lv_multiwalk.Dataset.create ~label:"s" ~metric:"m" [| 10.; 20.; 30. |] in
+  match Lv_multiwalk.Sim.table ds ~cores:[ 1 ] with
+  | [ r ] ->
+    Alcotest.(check (float 1e-9)) "speedup 1 on 1 core" 1. r.Lv_multiwalk.Sim.speedup
+  | _ -> Alcotest.fail "one row expected"
+
+let test_sim_speedup_monotone () =
+  let rng = Lv_stats.Rng.create ~seed:9 in
+  let d = Lv_stats.Exponential.create ~rate:1e-4 in
+  let ds = Lv_multiwalk.Dataset.synthetic ~label:"exp" d ~rng 800 in
+  let rows = Lv_multiwalk.Sim.table ds ~cores:[ 1; 2; 4; 8; 16; 32 ] in
+  let rec check prev = function
+    | [] -> ()
+    | r :: rest ->
+      if r.Lv_multiwalk.Sim.speedup < prev -. 1e-9 then
+        Alcotest.failf "speedup decreased at %d cores" r.Lv_multiwalk.Sim.cores;
+      check r.Lv_multiwalk.Sim.speedup rest
+  in
+  check 0. rows
+
+let test_sim_exponential_near_linear () =
+  (* For a non-shifted exponential pool the multi-walk speed-up is ~n (the
+     plug-in estimator saturates at high n because the sample minimum is
+     finite, so check moderate n on a large pool). *)
+  let rng = Lv_stats.Rng.create ~seed:13 in
+  let d = Lv_stats.Exponential.create ~rate:1e-5 in
+  let ds = Lv_multiwalk.Dataset.synthetic ~label:"exp" d ~rng 20_000 in
+  let rows = Lv_multiwalk.Sim.table ds ~cores:[ 2; 4; 8 ] in
+  List.iter
+    (fun r ->
+      let expected = float_of_int r.Lv_multiwalk.Sim.cores in
+      if abs_float (r.Lv_multiwalk.Sim.speedup -. expected) /. expected > 0.12 then
+        Alcotest.failf "exp speedup on %d cores: %g" r.Lv_multiwalk.Sim.cores
+          r.Lv_multiwalk.Sim.speedup)
+    rows
+
+let test_sim_race_once_bounds () =
+  let rng = Lv_stats.Rng.create ~seed:17 in
+  let emp = Lv_stats.Empirical.of_array [| 5.; 10.; 15.; 20. |] in
+  for _ = 1 to 200 do
+    let v = Lv_multiwalk.Sim.race_once emp ~rng ~cores:3 in
+    if v < 5. || v > 20. then Alcotest.failf "race value %g out of sample range" v
+  done
+
+let test_sim_speedup_mc_brackets_exact () =
+  let rng = Lv_stats.Rng.create ~seed:19 in
+  let d = Lv_stats.Exponential.create ~rate:0.01 in
+  let ds = Lv_multiwalk.Dataset.synthetic ~label:"exp" d ~rng 1_000 in
+  let exact = (List.hd (Lv_multiwalk.Sim.table ds ~cores:[ 8 ])).Lv_multiwalk.Sim.speedup in
+  let emp = Lv_multiwalk.Dataset.empirical ds in
+  let iv = Lv_multiwalk.Sim.speedup_mc ~replicates:3000 emp ~rng ~cores:8 in
+  Alcotest.(check bool) "MC interval brackets exact" true
+    (iv.Lv_stats.Bootstrap.lo <= exact && exact <= iv.Lv_stats.Bootstrap.hi
+    || abs_float (iv.Lv_stats.Bootstrap.estimate -. exact) /. exact < 0.1)
+
+(* ------------------------------------------------------------------ *)
+(* Run / Race                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_once () =
+  let rng = Lv_stats.Rng.create ~seed:21 in
+  let o = Lv_multiwalk.Run.once ~rng (Lv_problems.Queens.pack 15) in
+  Alcotest.(check bool) "solved" true o.Lv_multiwalk.Run.solved;
+  Alcotest.(check bool) "iterations positive" true (o.Lv_multiwalk.Run.iterations > 0);
+  Alcotest.(check bool) "time nonnegative" true (o.Lv_multiwalk.Run.seconds >= 0.)
+
+let test_race_iteration_metric () =
+  let o =
+    Lv_multiwalk.Race.iteration_metric ~seed:23 ~walkers:6 (fun () ->
+        Lv_problems.Queens.pack 15)
+  in
+  Alcotest.(check bool) "solved" true o.Lv_multiwalk.Race.solved;
+  Alcotest.(check bool) "winner set" true (o.Lv_multiwalk.Race.winner <> None);
+  (* The race minimum equals the minimum over the individual runs with the
+     same seeds. *)
+  let mins =
+    List.init 6 (fun w ->
+        let rng = Lv_stats.Rng.create ~seed:(23 + w) in
+        (Lv_multiwalk.Run.once ~rng (Lv_problems.Queens.pack 15)).Lv_multiwalk.Run.iterations)
+  in
+  Alcotest.(check int) "min of singles" (List.fold_left Int.min max_int mins)
+    o.Lv_multiwalk.Race.min_iterations
+
+let test_race_iteration_metric_beats_singles_on_average () =
+  (* Multi-walk effect: the mean over seeds of min-of-4 is well below the
+     mean single runtime. *)
+  let single = ref 0. and raced = ref 0. in
+  let reps = 15 in
+  for r = 0 to reps - 1 do
+    let seed = 500 + (r * 10) in
+    let rng = Lv_stats.Rng.create ~seed in
+    single :=
+      !single
+      +. float_of_int
+           (Lv_multiwalk.Run.once ~rng (Lv_problems.Queens.pack 20)).Lv_multiwalk.Run.iterations;
+    let o =
+      Lv_multiwalk.Race.iteration_metric ~seed:(seed + 1) ~walkers:4 (fun () ->
+          Lv_problems.Queens.pack 20)
+    in
+    raced := !raced +. float_of_int o.Lv_multiwalk.Race.min_iterations
+  done;
+  Alcotest.(check bool) "multi-walk gains" true (!raced < !single)
+
+let test_race_wall_clock () =
+  let o =
+    Lv_multiwalk.Race.wall_clock ~seed:29 ~walkers:2 (fun () ->
+        Lv_problems.Queens.pack 15)
+  in
+  Alcotest.(check bool) "solved" true o.Lv_multiwalk.Race.solved;
+  (match o.Lv_multiwalk.Race.winner with
+  | Some w -> Alcotest.(check bool) "winner in range" true (w >= 0 && w < 2)
+  | None -> Alcotest.fail "no winner");
+  Alcotest.(check bool) "winner iterations positive" true (o.Lv_multiwalk.Race.min_iterations > 0)
+
+let test_race_validation () =
+  Alcotest.check_raises "zero walkers"
+    (Invalid_argument "Race.wall_clock: walkers must be positive") (fun () ->
+      ignore
+        (Lv_multiwalk.Race.wall_clock ~seed:1 ~walkers:0 (fun () ->
+             Lv_problems.Queens.pack 10)))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"sim speedup >= 1 on any pool" ~count:100
+      (list_of_size (Gen.int_range 2 50) (float_range 1. 1e6))
+      (fun xs ->
+        let ds =
+          Lv_multiwalk.Dataset.create ~label:"q" ~metric:"m" (Array.of_list xs)
+        in
+        match Lv_multiwalk.Sim.table ds ~cores:[ 4 ] with
+        | [ r ] -> r.Lv_multiwalk.Sim.speedup >= 1. -. 1e-9
+        | _ -> false);
+    Test.make ~name:"csv round-trip preserves values" ~count:25
+      (list_of_size (Gen.int_range 1 60) (float_range 0. 1e9))
+      (fun xs ->
+        let path = tmp_file ".csv" in
+        let arr = Array.of_list xs in
+        let ds = Lv_multiwalk.Dataset.create ~label:"rt" ~metric:"m" arr in
+        Lv_multiwalk.Dataset.save_csv ds path;
+        let back = Lv_multiwalk.Dataset.load_csv path in
+        Sys.remove path;
+        back.Lv_multiwalk.Dataset.values = arr);
+  ]
+
+let () =
+  Alcotest.run "lv_multiwalk"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "create" `Quick test_dataset_create;
+          Alcotest.test_case "csv round-trip" `Quick test_dataset_csv_roundtrip;
+          Alcotest.test_case "plain csv" `Quick test_dataset_load_plain_csv;
+          Alcotest.test_case "observations filter" `Quick test_dataset_of_observations_filters;
+          Alcotest.test_case "synthetic" `Quick test_dataset_synthetic;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "basic" `Quick test_campaign_basic;
+          Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+          Alcotest.test_case "domain invariance" `Quick test_campaign_domain_count_invariant;
+          Alcotest.test_case "progress hook" `Quick test_campaign_progress_called;
+          Alcotest.test_case "generic runner" `Quick test_campaign_run_fn_generic;
+          Alcotest.test_case "argument validation" `Quick test_campaign_rejects_bad_args;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "one core" `Quick test_sim_speedup_one_core;
+          Alcotest.test_case "monotone" `Quick test_sim_speedup_monotone;
+          Alcotest.test_case "exponential linear" `Slow test_sim_exponential_near_linear;
+          Alcotest.test_case "race bounds" `Quick test_sim_race_once_bounds;
+          Alcotest.test_case "MC brackets exact" `Slow test_sim_speedup_mc_brackets_exact;
+        ] );
+      ( "race",
+        [
+          Alcotest.test_case "run once" `Quick test_run_once;
+          Alcotest.test_case "iteration metric" `Quick test_race_iteration_metric;
+          Alcotest.test_case "multi-walk gains" `Slow test_race_iteration_metric_beats_singles_on_average;
+          Alcotest.test_case "wall clock" `Quick test_race_wall_clock;
+          Alcotest.test_case "validation" `Quick test_race_validation;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

@@ -1,0 +1,1170 @@
+(* Tests for the statistics substrate: special functions against published
+   reference values, distribution laws against closed forms and Monte Carlo,
+   quadrature and root finding against analytic integrals/roots, the KS test
+   against known quantiles, estimators on synthetic data, and order
+   statistics against their closed-form oracles. *)
+
+open Lv_stats
+
+let check_float ?(eps = 1e-10) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+let rel_err expected actual =
+  if expected = 0. then abs_float actual else abs_float ((actual -. expected) /. expected)
+
+let check_rel ?(tol = 1e-9) name expected actual =
+  if rel_err expected actual > tol then
+    Alcotest.failf "%s: expected %.15g, got %.15g (rel err %.3g > %.3g)" name
+      expected actual (rel_err expected actual) tol
+
+(* ------------------------------------------------------------------ *)
+(* Special functions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference values: Abramowitz & Stegun tables / Wolfram Alpha, 15 digits. *)
+let test_erf_values () =
+  check_float ~eps:1e-13 "erf 0" 0. (Special.erf 0.);
+  check_rel ~tol:1e-12 "erf 0.5" 0.520499877813047 (Special.erf 0.5);
+  check_rel ~tol:1e-12 "erf 1" 0.842700792949715 (Special.erf 1.);
+  check_rel ~tol:1e-12 "erf 2" 0.995322265018953 (Special.erf 2.);
+  check_rel ~tol:1e-12 "erf -1" (-0.842700792949715) (Special.erf (-1.));
+  check_rel ~tol:1e-10 "erf 3.5" 0.999999256901628 (Special.erf 3.5)
+
+let test_erfc_values () =
+  check_rel ~tol:1e-11 "erfc 1" 0.157299207050285 (Special.erfc 1.);
+  check_rel ~tol:1e-11 "erfc 2" 4.67773498104727e-3 (Special.erfc 2.);
+  check_rel ~tol:1e-10 "erfc 5" 1.53745979442803e-12 (Special.erfc 5.);
+  check_rel ~tol:1e-9 "erfc 10" 2.08848758376254e-45 (Special.erfc 10.);
+  check_rel ~tol:1e-11 "erfc -1" 1.842700792949715 (Special.erfc (-1.));
+  check_float ~eps:1e-13 "erfc 0" 1. (Special.erfc 0.)
+
+let test_erf_erfc_complement () =
+  List.iter
+    (fun x ->
+      check_rel ~tol:1e-12
+        (Printf.sprintf "erf+erfc at %g" x)
+        1.
+        (Special.erf x +. Special.erfc x))
+    [ 0.1; 0.5; 1.0; 1.7; 2.5 ]
+
+let test_erf_inv () =
+  List.iter
+    (fun x ->
+      check_rel ~tol:1e-10
+        (Printf.sprintf "erf_inv (erf %g)" x)
+        x
+        (Special.erf_inv (Special.erf x)))
+    [ 0.1; 0.5; 1.0; 1.5; 2.0; -0.7 ];
+  check_float ~eps:1e-12 "erf_inv 0" 0. (Special.erf_inv 0.);
+  Alcotest.check_raises "erf_inv 1 rejected" (Invalid_argument "Special.erf_inv: argument must lie in (-1, 1)")
+    (fun () -> ignore (Special.erf_inv 1.))
+
+let test_erfc_inv () =
+  List.iter
+    (fun y ->
+      check_rel ~tol:1e-10
+        (Printf.sprintf "erfc (erfc_inv %g)" y)
+        y
+        (Special.erfc (Special.erfc_inv y)))
+    [ 0.01; 0.1; 0.5; 1.0; 1.5; 1.9 ]
+
+let test_log_gamma () =
+  check_float ~eps:1e-12 "lgamma 1" 0. (Special.log_gamma 1.);
+  check_float ~eps:1e-12 "lgamma 2" 0. (Special.log_gamma 2.);
+  check_rel ~tol:1e-13 "lgamma 5" (log 24.) (Special.log_gamma 5.);
+  check_rel ~tol:1e-13 "lgamma 10" (log 362880.) (Special.log_gamma 10.);
+  (* Γ(1/2) = √π. *)
+  check_rel ~tol:1e-12 "lgamma 0.5" (log (sqrt Float.pi)) (Special.log_gamma 0.5);
+  (* Reflection-formula regime. *)
+  check_rel ~tol:1e-10 "lgamma 0.1" 2.252712651734206 (Special.log_gamma 0.1);
+  (* Γ(6.3) via the recurrence from Γ(1.3) = 0.897470696306277. *)
+  check_rel ~tol:1e-9 "gamma 6.3"
+    (5.3 *. 4.3 *. 3.3 *. 2.3 *. 1.3 *. 0.897470696306277)
+    (Special.gamma 6.3)
+
+let test_gamma_p_q () =
+  (* P(1, x) = 1 - e^-x. *)
+  List.iter
+    (fun x ->
+      check_rel ~tol:1e-12
+        (Printf.sprintf "P(1,%g)" x)
+        (1. -. exp (-.x))
+        (Special.gamma_p 1. x))
+    [ 0.1; 1.0; 3.0; 10.0 ];
+  (* P(a,x) + Q(a,x) = 1. *)
+  List.iter
+    (fun (a, x) ->
+      check_rel ~tol:1e-12
+        (Printf.sprintf "P+Q(%g,%g)" a x)
+        1.
+        (Special.gamma_p a x +. Special.gamma_q a x))
+    [ (0.5, 0.2); (2.0, 3.0); (7.5, 4.0); (3.0, 20.0) ];
+  check_rel ~tol:1e-11 "P(3,2)" 0.32332358381693654 (Special.gamma_p 3. 2.);
+  check_float ~eps:1e-15 "P(2,0)" 0. (Special.gamma_p 2. 0.);
+  check_float ~eps:1e-15 "Q(2,0)" 1. (Special.gamma_q 2. 0.)
+
+let test_beta_inc () =
+  (* I_x(1,1) = x. *)
+  List.iter
+    (fun x -> check_rel ~tol:1e-12 (Printf.sprintf "I_%g(1,1)" x) x (Special.beta_inc 1. 1. x))
+    [ 0.1; 0.5; 0.9 ];
+  (* I_x(2,3) = x^2 (6 - 8x + 3x^2). *)
+  List.iter
+    (fun x ->
+      check_rel ~tol:1e-11
+        (Printf.sprintf "I_%g(2,3)" x)
+        (x *. x *. (6. -. (8. *. x) +. (3. *. x *. x)))
+        (Special.beta_inc 2. 3. x))
+    [ 0.2; 0.4; 0.7 ];
+  (* Symmetry: I_x(a,b) = 1 - I_(1-x)(b,a). *)
+  check_rel ~tol:1e-11 "beta symmetry" (1. -. Special.beta_inc 3. 5. 0.7)
+    (Special.beta_inc 5. 3. 0.3);
+  check_float ~eps:1e-15 "I_0" 0. (Special.beta_inc 2. 2. 0.);
+  check_float ~eps:1e-15 "I_1" 1. (Special.beta_inc 2. 2. 1.)
+
+let test_digamma () =
+  (* ψ(1) = -γ. *)
+  check_rel ~tol:1e-9 "digamma 1" (-0.5772156649015329) (Special.digamma 1.);
+  (* ψ(x+1) = ψ(x) + 1/x. *)
+  List.iter
+    (fun x ->
+      check_rel ~tol:1e-10
+        (Printf.sprintf "digamma recurrence %g" x)
+        (Special.digamma x +. (1. /. x))
+        (Special.digamma (x +. 1.)))
+    [ 0.3; 1.5; 4.2 ];
+  check_rel ~tol:1e-9 "digamma 10" 2.2517525890667214 (Special.digamma 10.)
+
+let test_norm_cdf_quantile () =
+  check_float ~eps:1e-14 "Phi 0" 0.5 (Special.norm_cdf 0.);
+  check_rel ~tol:1e-12 "Phi 1.96" 0.9750021048517795 (Special.norm_cdf 1.96);
+  check_rel ~tol:1e-12 "Phi -1" 0.158655253931457 (Special.norm_cdf (-1.));
+  List.iter
+    (fun p ->
+      check_rel ~tol:1e-11
+        (Printf.sprintf "Phi(quantile %g)" p)
+        p
+        (Special.norm_cdf (Special.norm_quantile p)))
+    [ 1e-10; 1e-4; 0.01; 0.3; 0.5; 0.77; 0.99; 1. -. 1e-9 ]
+
+(* ------------------------------------------------------------------ *)
+(* RNG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for i = 0 to 99 do
+    Alcotest.(check int64)
+      (Printf.sprintf "stream %d" i)
+      (Rng.bits64 a) (Rng.bits64 b)
+  done;
+  let c = Rng.create ~seed:124 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.bits64 a <> Rng.bits64 c)
+
+let test_rng_copy_split () =
+  let a = Rng.create ~seed:5 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy tracks" (Rng.bits64 a) (Rng.bits64 b);
+  let c = Rng.split a in
+  Alcotest.(check bool) "split differs from parent" true (Rng.bits64 a <> Rng.bits64 c)
+
+let test_rng_uniform_range () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let u = Rng.uniform rng in
+    if not (u >= 0. && u < 1.) then Alcotest.failf "uniform out of range: %g" u
+  done
+
+let test_rng_int_uniformity () =
+  let rng = Rng.create ~seed:11 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Rng.int rng 10 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = float_of_int n /. 10. in
+      if abs_float (float_of_int c -. expected) > 5. *. sqrt expected then
+        Alcotest.failf "bucket %d count %d too far from %g" i c expected)
+    counts
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let k = Rng.int rng 7 in
+    if k < 0 || k >= 7 then Alcotest.failf "int out of bounds: %d" k
+  done;
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_rng_normal_moments () =
+  let rng = Rng.create ~seed:13 in
+  let n = 200_000 in
+  let xs = Array.init n (fun _ -> Rng.normal rng) in
+  let m = Summary.mean xs and sd = Summary.std xs in
+  if abs_float m > 0.01 then Alcotest.failf "normal mean %g too far from 0" m;
+  if abs_float (sd -. 1.) > 0.01 then Alcotest.failf "normal std %g too far from 1" sd
+
+let test_rng_exponential_moments () =
+  let rng = Rng.create ~seed:17 in
+  let n = 200_000 in
+  let xs = Array.init n (fun _ -> Rng.exponential rng ~rate:2.) in
+  let m = Summary.mean xs in
+  if abs_float (m -. 0.5) > 0.01 then Alcotest.failf "exponential mean %g too far from 0.5" m
+
+let test_rng_permutation () =
+  let rng = Rng.create ~seed:19 in
+  let p = Rng.permutation rng 100 in
+  let seen = Array.make 100 false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= 100 || seen.(v) then Alcotest.fail "not a permutation";
+      seen.(v) <- true)
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Quadrature and root finding                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_simpson_polynomials () =
+  check_rel ~tol:1e-12 "int x^2 [0,1]" (1. /. 3.)
+    (Quadrature.simpson_adaptive (fun x -> x *. x) ~lo:0. ~hi:1.);
+  check_rel ~tol:1e-10 "int sin [0,pi]" 2.
+    (Quadrature.simpson_adaptive sin ~lo:0. ~hi:Float.pi);
+  check_rel ~tol:1e-10 "int e^x [0,2]" (exp 2. -. 1.)
+    (Quadrature.simpson_adaptive exp ~lo:0. ~hi:2.);
+  check_float ~eps:1e-15 "empty interval" 0.
+    (Quadrature.simpson_adaptive exp ~lo:1. ~hi:1.)
+
+let test_gauss_legendre () =
+  check_rel ~tol:1e-12 "GL x^6 [-1,1]" (2. /. 7.)
+    (Quadrature.gauss_legendre (fun x -> x ** 6.) ~lo:(-1.) ~hi:1.);
+  check_rel ~tol:1e-12 "GL cos [0,1]" (sin 1.)
+    (Quadrature.gauss_legendre cos ~lo:0. ~hi:1.);
+  check_rel ~tol:1e-12 "GL order 8 cubic exact" 0.25
+    (Quadrature.gauss_legendre ~order:8 (fun x -> x ** 3.) ~lo:0. ~hi:1.)
+
+let test_tanh_sinh () =
+  check_rel ~tol:1e-10 "TS x^2 [0,1]" (1. /. 3.)
+    (Quadrature.tanh_sinh (fun x -> x *. x) ~lo:0. ~hi:1.);
+  (* Endpoint singularity: int 1/sqrt(x) on [0,1] = 2. *)
+  check_rel ~tol:1e-8 "TS 1/sqrt(x)" 2.
+    (Quadrature.tanh_sinh (fun x -> 1. /. sqrt x) ~lo:0. ~hi:1.);
+  check_rel ~tol:1e-9 "TS log(x)" (-1.)
+    (Quadrature.tanh_sinh log ~lo:0. ~hi:1.)
+
+let test_integrate_to_infinity () =
+  check_rel ~tol:1e-8 "int e^-x [0,inf)" 1.
+    (Quadrature.integrate_to_infinity (fun x -> exp (-.x)) ~lo:0.);
+  check_rel ~tol:1e-8 "int e^-x [2,inf)" (exp (-2.))
+    (Quadrature.integrate_to_infinity (fun x -> exp (-.x)) ~lo:2.);
+  check_rel ~tol:1e-7 "int x e^-x [0,inf)" 1.
+    (Quadrature.integrate_to_infinity (fun x -> x *. exp (-.x)) ~lo:0.)
+
+let test_integrate_decaying () =
+  check_rel ~tol:1e-8 "decaying e^-x" 1.
+    (Quadrature.integrate_decaying (fun x -> exp (-.x)) ~lo:0.);
+  (* Gaussian integral: int e^(-x^2/2) [0,inf) = sqrt(pi/2). *)
+  check_rel ~tol:1e-8 "decaying gaussian" (sqrt (Float.pi /. 2.))
+    (Quadrature.integrate_decaying (fun x -> exp (-.x *. x /. 2.)) ~lo:0.);
+  (* Slow decay: needs many geometric panels to accumulate. *)
+  check_rel ~tol:1e-8 "slow decay" 500.
+    (Quadrature.integrate_decaying (fun x -> exp (-.x /. 500.)) ~lo:0.)
+
+let test_bisect_brent () =
+  check_rel ~tol:1e-9 "bisect sqrt2" (sqrt 2.)
+    (Rootfind.bisect (fun x -> (x *. x) -. 2.) ~lo:0. ~hi:2.);
+  check_rel ~tol:1e-11 "brent sqrt2" (sqrt 2.)
+    (Rootfind.brent (fun x -> (x *. x) -. 2.) ~lo:0. ~hi:2.);
+  check_rel ~tol:1e-11 "brent cos" (Float.pi /. 2.)
+    (Rootfind.brent cos ~lo:1. ~hi:2.);
+  Alcotest.check_raises "brent needs bracket"
+    (Invalid_argument "Rootfind.brent: interval does not bracket a root")
+    (fun () -> ignore (Rootfind.brent (fun x -> x +. 10.) ~lo:0. ~hi:1.))
+
+let test_expand_bracket () =
+  (match Rootfind.expand_bracket (fun x -> x -. 100.) ~lo:0. ~hi:1. with
+  | Some (lo, hi) ->
+    if not (lo <= 100. && 100. <= hi) then Alcotest.fail "bracket misses root"
+  | None -> Alcotest.fail "bracket not found");
+  (match Rootfind.expand_bracket (fun _ -> 1.) ~lo:0. ~hi:1. with
+  | Some _ -> Alcotest.fail "found bracket for rootless function"
+  | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Summary / Histogram                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_basic () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  let s = Summary.of_array xs in
+  check_float ~eps:1e-12 "mean" 3. s.Summary.mean;
+  check_float ~eps:1e-12 "median" 3. s.Summary.median;
+  check_float ~eps:1e-12 "min" 1. s.Summary.min;
+  check_float ~eps:1e-12 "max" 5. s.Summary.max;
+  check_float ~eps:1e-12 "variance" 2.5 s.Summary.variance;
+  Alcotest.(check int) "count" 5 s.Summary.count
+
+let test_summary_quantile () =
+  let xs = [| 10.; 20.; 30.; 40. |] in
+  check_float ~eps:1e-12 "q0" 10. (Summary.quantile xs 0.);
+  check_float ~eps:1e-12 "q1" 40. (Summary.quantile xs 1.);
+  check_float ~eps:1e-12 "q0.5 interpolates" 25. (Summary.quantile xs 0.5);
+  (* type-7: h = p(n-1). p=0.25 -> h=0.75 -> between 10 and 20 at 0.75 *)
+  check_float ~eps:1e-12 "q0.25" 17.5 (Summary.quantile xs 0.25);
+  let single = [| 42. |] in
+  check_float ~eps:1e-12 "singleton" 42. (Summary.quantile single 0.3)
+
+let test_summary_errors () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Summary.mean: empty sample")
+    (fun () -> ignore (Summary.mean [||]));
+  Alcotest.check_raises "bad p"
+    (Invalid_argument "Summary.quantile: p must lie in [0, 1]") (fun () ->
+      ignore (Summary.quantile [| 1. |] 1.5))
+
+let test_summary_skew_kurt () =
+  (* Symmetric data: zero skewness. *)
+  let s = Summary.of_array [| -2.; -1.; 0.; 1.; 2. |] in
+  check_float ~eps:1e-12 "skew symmetric" 0. s.Summary.skewness;
+  (* Exponential-ish data has positive skewness. *)
+  let rng = Rng.create ~seed:23 in
+  let xs = Array.init 50_000 (fun _ -> Rng.exponential rng ~rate:1.) in
+  let s = Summary.of_array xs in
+  if s.Summary.skewness < 1.5 then
+    Alcotest.failf "exponential skewness %g, expected ~2" s.Summary.skewness
+
+let test_histogram_density_integrates () =
+  let rng = Rng.create ~seed:29 in
+  let xs = Array.init 5000 (fun _ -> Rng.normal rng) in
+  let h = Histogram.make xs in
+  let total =
+    Array.init (Histogram.n_bins h) (fun i -> Histogram.density h i *. h.Histogram.width)
+    |> Array.fold_left ( +. ) 0.
+  in
+  check_rel ~tol:1e-9 "densities integrate to 1" 1. total
+
+let test_histogram_binning_modes () =
+  let xs = Array.init 100 (fun i -> float_of_int i) in
+  let h = Histogram.make ~binning:(Histogram.Bins 10) xs in
+  Alcotest.(check int) "explicit bins" 10 (Histogram.n_bins h);
+  Array.iter (fun c -> Alcotest.(check int) "balanced" 10 c) h.Histogram.counts;
+  let h = Histogram.make ~binning:Histogram.Sturges xs in
+  Alcotest.(check int) "sturges bins" 8 (Histogram.n_bins h);
+  let degenerate = Histogram.make [| 5.; 5.; 5. |] in
+  Alcotest.(check int) "degenerate sample 1 bin" 1 (Histogram.n_bins degenerate)
+
+let test_histogram_edges () =
+  let h = Histogram.make ~binning:(Histogram.Bins 4) [| 0.; 1.; 2.; 3.; 4. |] in
+  let lo, hi = Histogram.bin_edges h 0 in
+  check_float ~eps:1e-12 "first edge lo" 0. lo;
+  check_float ~eps:1e-12 "first edge hi" 1. hi;
+  check_float ~eps:1e-12 "center" 0.5 (Histogram.bin_center h 0)
+
+(* ------------------------------------------------------------------ *)
+(* Distribution families                                               *)
+(* ------------------------------------------------------------------ *)
+
+let families_for_props =
+  [
+    ("exponential", Exponential.create ~rate:0.5);
+    ("shifted-exponential", Exponential.shifted ~x0:10. ~rate:0.01);
+    ("lognormal", Lognormal.create ~mu:2. ~sigma:0.7);
+    ("shifted-lognormal", Lognormal.shifted ~x0:5. ~mu:1. ~sigma:0.5);
+    ("normal", Normal.create ~mu:3. ~sigma:2.);
+    ("truncated-normal", Normal.truncated_positive ~mu:1. ~sigma:2.);
+    ("uniform", Uniform.create ~lo:2. ~hi:7.);
+    ("weibull", Weibull.create ~shape:1.7 ~scale:3.);
+    ("gamma", Gamma_dist.create ~shape:2.5 ~rate:0.8);
+    ("levy", Levy.create ~scale:1.5);
+  ]
+
+let test_cdf_monotone_and_bounded () =
+  List.iter
+    (fun (name, d) ->
+      let lo, hi = d.Distribution.support in
+      let lo = if Float.is_finite lo then lo else -50. in
+      let hi = if Float.is_finite hi then hi else 500. in
+      let prev = ref (-0.0001) in
+      for i = 0 to 200 do
+        let x = lo +. ((hi -. lo) *. float_of_int i /. 200.) in
+        let f = d.Distribution.cdf x in
+        if f < 0. || f > 1. then Alcotest.failf "%s: cdf %g out of [0,1]" name f;
+        if f < !prev -. 1e-12 then Alcotest.failf "%s: cdf not monotone at %g" name x;
+        prev := f
+      done)
+    families_for_props
+
+let test_quantile_inverts_cdf () =
+  List.iter
+    (fun (name, d) ->
+      List.iter
+        (fun p ->
+          let x = d.Distribution.quantile p in
+          let f = d.Distribution.cdf x in
+          if abs_float (f -. p) > 1e-6 then
+            Alcotest.failf "%s: cdf(quantile %g) = %g" name p f)
+        [ 0.01; 0.1; 0.3; 0.5; 0.7; 0.9; 0.99 ])
+    families_for_props
+
+let test_pdf_matches_cdf_derivative () =
+  List.iter
+    (fun (name, d) ->
+      (* Central difference at a few interior quantiles. *)
+      List.iter
+        (fun p ->
+          let x = d.Distribution.quantile p in
+          let h = 1e-5 *. Float.max 1. (abs_float x) in
+          let derivative =
+            (d.Distribution.cdf (x +. h) -. d.Distribution.cdf (x -. h)) /. (2. *. h)
+          in
+          let pdf = d.Distribution.pdf x in
+          if rel_err (Float.max derivative 1e-12) (Float.max pdf 1e-12) > 1e-3 then
+            Alcotest.failf "%s: pdf %g vs d(cdf) %g at %g" name pdf derivative x)
+        [ 0.2; 0.5; 0.8 ])
+    families_for_props
+
+let test_sample_mean_matches () =
+  let rng = Rng.create ~seed:31 in
+  List.iter
+    (fun (name, d) ->
+      if Float.is_nan d.Distribution.mean then ()
+      else begin
+        let n = 60_000 in
+        let xs = Distribution.sample_array d rng n in
+        let m = Summary.mean xs in
+        let sd = sqrt d.Distribution.variance in
+        let tolerance = 6. *. sd /. sqrt (float_of_int n) in
+        if abs_float (m -. d.Distribution.mean) > tolerance then
+          Alcotest.failf "%s: sample mean %g vs %g (tol %g)" name m
+            d.Distribution.mean tolerance
+      end)
+    families_for_props
+
+let test_closed_form_means () =
+  check_rel ~tol:1e-12 "exp mean" 2. (Exponential.create ~rate:0.5).Distribution.mean;
+  check_rel ~tol:1e-12 "shifted exp mean" 1100.
+    (Exponential.shifted ~x0:100. ~rate:0.001).Distribution.mean;
+  check_rel ~tol:1e-12 "lognormal mean"
+    (exp (2. +. (0.7 *. 0.7 /. 2.)))
+    (Lognormal.create ~mu:2. ~sigma:0.7).Distribution.mean;
+  check_rel ~tol:1e-12 "uniform mean" 4.5 (Uniform.create ~lo:2. ~hi:7.).Distribution.mean;
+  check_rel ~tol:1e-12 "gamma mean" 3.125
+    (Gamma_dist.create ~shape:2.5 ~rate:0.8).Distribution.mean;
+  Alcotest.(check bool) "levy mean undefined" true
+    (Float.is_nan (Levy.create ~scale:1.).Distribution.mean)
+
+let test_numeric_mean_cross_check () =
+  List.iter
+    (fun (name, d) ->
+      if Float.is_nan d.Distribution.mean then ()
+      else begin
+        let numeric = Distribution.numeric_mean d in
+        if rel_err d.Distribution.mean numeric > 1e-5 then
+          Alcotest.failf "%s: closed mean %g vs numeric %g" name
+            d.Distribution.mean numeric
+      end)
+    (List.filter (fun (n, _) -> n <> "normal") families_for_props)
+
+let test_shift_properties () =
+  let base = Exponential.create ~rate:0.1 in
+  let shifted = Distribution.shift base 50. in
+  check_rel ~tol:1e-12 "shift mean" (base.Distribution.mean +. 50.) shifted.Distribution.mean;
+  check_rel ~tol:1e-12 "shift variance" base.Distribution.variance shifted.Distribution.variance;
+  check_float ~eps:1e-12 "pdf below shift" 0. (shifted.Distribution.pdf 49.);
+  check_rel ~tol:1e-12 "cdf translated" (base.Distribution.cdf 5.) (shifted.Distribution.cdf 55.);
+  let same = Distribution.shift base 0. in
+  Alcotest.(check string) "zero shift keeps name" "exponential" same.Distribution.name
+
+let test_truncated_normal () =
+  let d = Normal.truncated_positive ~mu:(-1.) ~sigma:1. in
+  check_float ~eps:1e-12 "no mass below 0" 0. (d.Distribution.cdf (-0.5));
+  check_rel ~tol:1e-9 "total mass" 1. (d.Distribution.cdf 100.);
+  Alcotest.(check bool) "mean positive" true (d.Distribution.mean > 0.);
+  (* Monte-Carlo mean check for a strongly truncated case. *)
+  let rng = Rng.create ~seed:37 in
+  let xs = Distribution.sample_array d rng 50_000 in
+  if abs_float (Summary.mean xs -. d.Distribution.mean) > 0.02 then
+    Alcotest.failf "truncated normal mean mismatch: %g vs %g" (Summary.mean xs)
+      d.Distribution.mean
+
+let test_levy_quantile () =
+  let d = Levy.create ~scale:2. in
+  List.iter
+    (fun p ->
+      check_rel ~tol:1e-9 (Printf.sprintf "levy cdf-quantile %g" p) p
+        (d.Distribution.cdf (d.Distribution.quantile p)))
+    [ 0.1; 0.5; 0.9 ]
+
+let test_distribution_pp () =
+  let d = Lognormal.shifted ~x0:10. ~mu:2. ~sigma:1. in
+  let s = Distribution.to_string d in
+  Alcotest.(check bool) "mentions family" true
+    (String.length s > 0
+    && String.sub s 0 (String.length "shifted-lognormal") = "shifted-lognormal");
+  Alcotest.(check bool) "mentions shift" true
+    (String.length s > String.length "shifted-lognormal");
+  (* Zero shift keeps the bare family. *)
+  Alcotest.(check string) "zero shift" "exponential"
+    (Distribution.shift (Exponential.create ~rate:1.) 0.).Distribution.name
+
+let test_min_of_weibull_is_weibull () =
+  (* Closed-form closure property as a sampling cross-check: the min of n
+     Weibull(k, s) draws is Weibull(k, s/n^(1/k)). *)
+  let rng = Rng.create ~seed:139 in
+  let d = Weibull.create ~shape:2. ~scale:10. in
+  let reps = 30_000 and n = 5 in
+  let acc = ref 0. in
+  for _ = 1 to reps do
+    let m = ref infinity in
+    for _ = 1 to n do
+      let x = d.Distribution.sample rng in
+      if x < !m then m := x
+    done;
+    acc := !acc +. !m
+  done;
+  let mc = !acc /. float_of_int reps in
+  let closed = Order_stats.weibull_expected_min ~shape:2. ~scale:10. n in
+  if rel_err closed mc > 0.02 then Alcotest.failf "weibull min MC %g vs %g" mc closed
+
+let test_pareto_family () =
+  let d = Pareto.create ~xm:2. ~alpha:3. in
+  check_rel ~tol:1e-12 "mean" 3. d.Distribution.mean;
+  check_float ~eps:1e-15 "no mass below xm" 0. (d.Distribution.cdf 1.9);
+  check_rel ~tol:1e-12 "median" (2. *. (2. ** (1. /. 3.))) (d.Distribution.quantile 0.5);
+  (* alpha <= 1: infinite mean. *)
+  Alcotest.(check bool) "heavy tail mean nan" true
+    (Float.is_nan (Pareto.create ~xm:1. ~alpha:0.8).Distribution.mean);
+  (* Min-stability: E[min of n] closed form vs generic quadrature. *)
+  List.iter
+    (fun n ->
+      check_rel ~tol:1e-5
+        (Printf.sprintf "pareto E[min %d]" n)
+        (Pareto.expected_min ~xm:2. ~alpha:3. n)
+        (Order_stats.expected_min d n))
+    [ 1; 2; 8; 64 ];
+  (* Infinite sequential mean, finite parallel mean: alpha = 0.8, n = 4
+     gives n alpha = 3.2 > 1. *)
+  let heavy = Pareto.create ~xm:1. ~alpha:0.8 in
+  check_rel ~tol:1e-4 "parallel mean becomes finite"
+    (Pareto.expected_min ~xm:1. ~alpha:0.8 4)
+    (Order_stats.expected_min heavy 4)
+
+let test_mle_exponential_censored () =
+  (* Exponential data cut at a budget: the censoring-aware estimator
+     recovers the rate, the naive one overestimates it. *)
+  let rng = Rng.create ~seed:107 in
+  let rate = 1e-3 in
+  let budget = 2000. in
+  let all = Array.init 4000 (fun _ -> Rng.exponential rng ~rate) in
+  let observed = Array.of_list (List.filter (fun x -> x <= budget) (Array.to_list all)) in
+  let censored = Array.map (fun _ -> budget)
+      (Array.of_list (List.filter (fun x -> x > budget) (Array.to_list all)))
+  in
+  let d = Mle.exponential_censored ~observed ~censored in
+  let fitted = List.assoc "lambda" d.Distribution.params in
+  if rel_err rate fitted > 0.05 then
+    Alcotest.failf "censored MLE rate %g vs %g" fitted rate;
+  let naive = List.assoc "lambda" (Mle.exponential observed).Distribution.params in
+  Alcotest.(check bool) "naive overestimates" true (naive > fitted);
+  Alcotest.check_raises "empty observed"
+    (Invalid_argument "Mle.exponential_censored: empty sample") (fun () ->
+      ignore (Mle.exponential_censored ~observed:[||] ~censored:[| 1. |]))
+
+let test_invalid_params () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "exp rate 0" (fun () -> Exponential.create ~rate:0.);
+  expect_invalid "exp negative shift" (fun () -> Exponential.shifted ~x0:(-1.) ~rate:1.);
+  expect_invalid "lognormal sigma 0" (fun () -> Lognormal.create ~mu:0. ~sigma:0.);
+  expect_invalid "normal sigma" (fun () -> Normal.create ~mu:0. ~sigma:(-1.));
+  expect_invalid "uniform lo=hi" (fun () -> Uniform.create ~lo:1. ~hi:1.);
+  expect_invalid "weibull shape" (fun () -> Weibull.create ~shape:0. ~scale:1.);
+  expect_invalid "gamma rate" (fun () -> Gamma_dist.create ~shape:1. ~rate:0.);
+  expect_invalid "levy scale" (fun () -> Levy.create ~scale:0.)
+
+(* ------------------------------------------------------------------ *)
+(* Empirical                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_empirical_basic () =
+  let e = Empirical.of_array [| 3.; 1.; 2. |] in
+  Alcotest.(check int) "size" 3 (Empirical.size e);
+  check_float ~eps:1e-12 "min" 1. (Empirical.min e);
+  check_float ~eps:1e-12 "max" 3. (Empirical.max e);
+  check_float ~eps:1e-12 "mean" 2. (Empirical.mean e);
+  check_float ~eps:1e-12 "cdf below" 0. (Empirical.cdf e 0.5);
+  check_rel ~tol:1e-12 "cdf mid" (2. /. 3.) (Empirical.cdf e 2.);
+  check_rel ~tol:1e-12 "cdf between" (2. /. 3.) (Empirical.cdf e 2.5);
+  check_float ~eps:1e-12 "cdf top" 1. (Empirical.cdf e 3.)
+
+let test_empirical_expected_min_exact () =
+  (* n=1: expectation of the sample itself. *)
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let e = Empirical.of_array xs in
+  check_rel ~tol:1e-12 "n=1 is mean" 2.5 (Empirical.expected_min_exact e 1);
+  (* n=2 by direct enumeration: E[min of 2 draws with replacement]. *)
+  let brute =
+    let acc = ref 0. in
+    Array.iter (fun a -> Array.iter (fun b -> acc := !acc +. Float.min a b) xs) xs;
+    !acc /. 16.
+  in
+  check_rel ~tol:1e-12 "n=2 enumeration" brute (Empirical.expected_min_exact e 2);
+  (* Huge n converges to the sample minimum. *)
+  check_rel ~tol:1e-6 "n huge -> min" 1. (Empirical.expected_min_exact e 5000)
+
+let test_empirical_expected_min_matches_mc () =
+  let rng = Rng.create ~seed:41 in
+  let xs = Array.init 400 (fun _ -> Rng.exponential rng ~rate:0.001) in
+  let e = Empirical.of_array xs in
+  let exact = Empirical.expected_min_exact e 8 in
+  let mc_n = 40_000 in
+  let acc = ref 0. in
+  for _ = 1 to mc_n do
+    acc := !acc +. Empirical.min_of_draws e rng 8
+  done;
+  let mc = !acc /. float_of_int mc_n in
+  if rel_err exact mc > 0.03 then
+    Alcotest.failf "plug-in E[min8] %g vs MC %g" exact mc
+
+let test_empirical_to_distribution () =
+  let e = Empirical.of_array [| 1.; 2.; 3. |] in
+  let d = Empirical.to_distribution e in
+  check_rel ~tol:1e-12 "mean carried" 2. d.Distribution.mean;
+  check_rel ~tol:1e-12 "cdf carried" (Empirical.cdf e 2.) (d.Distribution.cdf 2.)
+
+let test_empirical_resample_draws_from_pool () =
+  let rng = Rng.create ~seed:137 in
+  let e = Empirical.of_array [| 2.; 4.; 8. |] in
+  let draws = Empirical.resample e rng 500 in
+  Array.iter
+    (fun v ->
+      if v <> 2. && v <> 4. && v <> 8. then Alcotest.failf "foreign value %g" v)
+    draws;
+  (* All pool members appear in a 500-draw resample with near certainty. *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "value %g drawn" v)
+        true
+        (Array.exists (fun x -> x = v) draws))
+    [ 2.; 4.; 8. ]
+
+let test_empirical_quantile_interpolates () =
+  let e = Empirical.of_array [| 10.; 20.; 30.; 40. |] in
+  check_float ~eps:1e-12 "median" 25. (Empirical.quantile e 0.5);
+  check_float ~eps:1e-12 "min quantile" 10. (Empirical.quantile e 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Kolmogorov-Smirnov                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_kolmogorov_cdf_values () =
+  (* Known values of the Kolmogorov distribution. *)
+  check_rel ~tol:1e-6 "K(0.5)" 0.0360547563 (Kolmogorov.kolmogorov_cdf 0.5);
+  check_rel ~tol:1e-6 "K(1.0)" 0.7300003283 (Kolmogorov.kolmogorov_cdf 1.0);
+  (* From the alternating series by hand:
+     1 - 2(e^(-2·1.36²) - e^(-8·1.36²) + ...). *)
+  check_rel ~tol:1e-6 "K(1.36)"
+    (1. -. (2. *. (exp (-2. *. 1.36 *. 1.36) -. exp (-8. *. 1.36 *. 1.36))))
+    (Kolmogorov.kolmogorov_cdf 1.36);
+  check_float ~eps:1e-12 "K(0)" 0. (Kolmogorov.kolmogorov_cdf 0.);
+  check_rel ~tol:1e-12 "K(3)"
+    (1. -. (2. *. exp (-18.)))
+    (Kolmogorov.kolmogorov_cdf 3.);
+  (* Continuity across the theta/series switch at 1.18 (tolerance covers the
+     CDF's own slope over the 2e-7 test gap). *)
+  check_rel ~tol:1e-6 "continuity at switch"
+    (Kolmogorov.kolmogorov_cdf 1.1799999)
+    (Kolmogorov.kolmogorov_cdf 1.1800001)
+
+let test_ks_statistic_perfect_fit () =
+  (* A sample located exactly at ECDF midpoints of its own uniform law has
+     the minimal possible statistic 1/(2n). *)
+  let n = 10 in
+  let xs = Array.init n (fun i -> (float_of_int i +. 0.5) /. float_of_int n) in
+  let d = Kolmogorov.statistic xs (fun x -> x) in
+  check_rel ~tol:1e-12 "midpoint statistic" (1. /. (2. *. float_of_int n)) d
+
+let test_ks_statistic_worst_fit () =
+  let xs = [| 0.; 0.; 0. |] in
+  let d = Kolmogorov.statistic xs (fun x -> x) in
+  check_rel ~tol:1e-12 "all-at-zero vs uniform" 1. d
+
+let test_ks_accepts_own_distribution () =
+  let rng = Rng.create ~seed:43 in
+  let d = Exponential.create ~rate:0.01 in
+  let xs = Distribution.sample_array d rng 600 in
+  let r = Kolmogorov.test xs d.Distribution.cdf in
+  Alcotest.(check bool) "accepts true law" true r.Kolmogorov.accept
+
+let test_ks_rejects_wrong_distribution () =
+  let rng = Rng.create ~seed:47 in
+  let d = Lognormal.create ~mu:3. ~sigma:1.5 in
+  let xs = Distribution.sample_array d rng 600 in
+  let wrong = Exponential.create ~rate:(1. /. Summary.mean xs) in
+  let r = Kolmogorov.test xs wrong.Distribution.cdf in
+  Alcotest.(check bool) "rejects exponential for lognormal data" false
+    r.Kolmogorov.accept
+
+let test_ks_p_value_uniformity () =
+  (* Under H0 the p-value should not be systematically tiny: average over
+     repeated samples stays in a broad central band. *)
+  let rng = Rng.create ~seed:53 in
+  let d = Uniform.create ~lo:0. ~hi:1. in
+  let reps = 60 in
+  let acc = ref 0. in
+  for _ = 1 to reps do
+    let xs = Distribution.sample_array d rng 100 in
+    let r = Kolmogorov.test xs d.Distribution.cdf in
+    acc := !acc +. r.Kolmogorov.p_value
+  done;
+  let avg = !acc /. float_of_int reps in
+  if avg < 0.3 || avg > 0.7 then
+    Alcotest.failf "average p-value under H0 is %g, expected ~0.5" avg
+
+(* ------------------------------------------------------------------ *)
+(* MLE                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mle_exponential () =
+  let rng = Rng.create ~seed:59 in
+  let true_d = Exponential.create ~rate:0.02 in
+  let xs = Distribution.sample_array true_d rng 20_000 in
+  let d = Mle.exponential xs in
+  let rate = List.assoc "lambda" d.Distribution.params in
+  if rel_err 0.02 rate > 0.03 then Alcotest.failf "rate %g vs 0.02" rate
+
+let test_mle_shifted_exponential () =
+  let rng = Rng.create ~seed:61 in
+  let true_d = Exponential.shifted ~x0:500. ~rate:0.001 in
+  let xs = Distribution.sample_array true_d rng 20_000 in
+  let d = Mle.shifted_exponential xs in
+  let x0 = List.assoc "x0" d.Distribution.params in
+  let rate = List.assoc "lambda" d.Distribution.params in
+  if abs_float (x0 -. 500.) > 10. then Alcotest.failf "x0 %g vs 500" x0;
+  if rel_err 0.001 rate > 0.05 then Alcotest.failf "rate %g vs 0.001" rate;
+  (* The literal paper recipe puts x0 exactly at the sample minimum; the
+     default bias correction pulls it below by (mean - min)/(n-1). *)
+  let xmin = Array.fold_left Float.min xs.(0) xs in
+  let literal = Mle.shifted_exponential ~bias_correct:false xs in
+  check_rel ~tol:1e-12 "literal x0 = sample min" xmin
+    (List.assoc "x0" literal.Distribution.params);
+  Alcotest.(check bool) "corrected x0 below min" true (x0 <= xmin)
+
+let test_mle_shifted_exponential_collapses_to_zero () =
+  (* Unshifted data: the corrected shift must be negligible (within sampling
+     noise of 0 — the paper's Costas 21 case, where the literal recipe would
+     have kept x0 = min ≈ 1/(nλ) and wrongly capped the speed-up).  The
+     substantive check: the implied speed-up on 256 cores stays near
+     linear. *)
+  let rng = Rng.create ~seed:63 in
+  let true_d = Exponential.create ~rate:1e-6 in
+  let xs = Distribution.sample_array true_d rng 650 in
+  let g256 dist =
+    let x0 =
+      Option.value (List.assoc_opt "x0" dist.Distribution.params) ~default:0.
+    in
+    let mean = dist.Distribution.mean in
+    mean /. (x0 +. ((mean -. x0) /. 256.))
+  in
+  let corrected = g256 (Mle.shifted_exponential xs) in
+  let literal = g256 (Mle.shifted_exponential ~bias_correct:false xs) in
+  Alcotest.(check bool) "correction moves toward linear" true (corrected >= literal);
+  if corrected < 0.8 *. 256. then
+    Alcotest.failf "corrected fit predicts G_256 = %g, expected near-linear" corrected
+
+let test_mle_lognormal () =
+  let rng = Rng.create ~seed:67 in
+  let true_d = Lognormal.create ~mu:4. ~sigma:1.2 in
+  let xs = Distribution.sample_array true_d rng 20_000 in
+  let d = Mle.lognormal xs in
+  let mu = List.assoc "mu" d.Distribution.params in
+  let sigma = List.assoc "sigma" d.Distribution.params in
+  if abs_float (mu -. 4.) > 0.05 then Alcotest.failf "mu %g vs 4" mu;
+  if abs_float (sigma -. 1.2) > 0.05 then Alcotest.failf "sigma %g vs 1.2" sigma
+
+let test_mle_shifted_lognormal_recovers () =
+  let rng = Rng.create ~seed:71 in
+  let true_d = Lognormal.shifted ~x0:1000. ~mu:3. ~sigma:1. in
+  let xs = Distribution.sample_array true_d rng 2_000 in
+  let d = Mle.shifted_lognormal xs in
+  let ks = Kolmogorov.test xs d.Distribution.cdf in
+  Alcotest.(check bool) "shifted lognormal fit passes KS" true ks.Kolmogorov.accept
+
+let test_mle_normal () =
+  let rng = Rng.create ~seed:73 in
+  let xs = Array.init 20_000 (fun _ -> 5. +. (3. *. Rng.normal rng)) in
+  let d = Mle.normal xs in
+  if abs_float (List.assoc "mu" d.Distribution.params -. 5.) > 0.1 then
+    Alcotest.fail "normal mu off";
+  if abs_float (List.assoc "sigma" d.Distribution.params -. 3.) > 0.1 then
+    Alcotest.fail "normal sigma off"
+
+let test_mle_weibull () =
+  let rng = Rng.create ~seed:79 in
+  let true_d = Weibull.create ~shape:2.2 ~scale:10. in
+  let xs = Distribution.sample_array true_d rng 20_000 in
+  let d = Mle.weibull xs in
+  let shape = List.assoc "shape" d.Distribution.params in
+  let scale = List.assoc "scale" d.Distribution.params in
+  if rel_err 2.2 shape > 0.05 then Alcotest.failf "weibull shape %g vs 2.2" shape;
+  if rel_err 10. scale > 0.05 then Alcotest.failf "weibull scale %g vs 10" scale
+
+let test_mle_gamma () =
+  let rng = Rng.create ~seed:83 in
+  let true_d = Gamma_dist.create ~shape:3. ~rate:0.5 in
+  let xs = Distribution.sample_array true_d rng 20_000 in
+  let d = Mle.gamma xs in
+  let shape = List.assoc "shape" d.Distribution.params in
+  let rate = List.assoc "rate" d.Distribution.params in
+  if rel_err 3. shape > 0.08 then Alcotest.failf "gamma shape %g vs 3" shape;
+  if rel_err 0.5 rate > 0.08 then Alcotest.failf "gamma rate %g vs 0.5" rate
+
+let test_mle_levy_median_match () =
+  let rng = Rng.create ~seed:89 in
+  let true_d = Levy.create ~scale:4. in
+  let xs = Distribution.sample_array true_d rng 30_000 in
+  let d = Mle.levy xs in
+  (* The estimator matches the median: check the fitted median. *)
+  let med = Summary.median xs in
+  check_rel ~tol:0.05 "levy median matched" med (d.Distribution.quantile 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Order statistics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_survival_power_extremes () =
+  let cdf = (Exponential.create ~rate:1.).Distribution.cdf in
+  check_rel ~tol:1e-12 "n=1 is survival" (exp (-2.))
+    (Order_stats.survival_power cdf 1 2.);
+  (* Large n via log1p stays finite and correct. *)
+  check_rel ~tol:1e-9 "n=10000" (exp (-10_000. *. 0.001))
+    (Order_stats.survival_power (fun _ -> 1. -. exp (-0.001)) 10_000 0.5)
+
+let test_expected_min_exponential_closed_form () =
+  let d = Exponential.shifted ~x0:100. ~rate:0.001 in
+  List.iter
+    (fun n ->
+      check_rel ~tol:1e-6
+        (Printf.sprintf "E[min %d]" n)
+        (Order_stats.exponential_expected_min ~rate:0.001 ~x0:100. n)
+        (Order_stats.expected_min d n))
+    [ 1; 2; 4; 16; 64; 256; 1024 ]
+
+let test_expected_min_uniform_closed_form () =
+  let d = Uniform.create ~lo:10. ~hi:20. in
+  List.iter
+    (fun n ->
+      check_rel ~tol:1e-6
+        (Printf.sprintf "uniform E[min %d]" n)
+        (Order_stats.uniform_expected_kth ~lo:10. ~hi:20. ~n ~k:1)
+        (Order_stats.expected_min d n))
+    [ 1; 2; 5; 10; 100 ]
+
+let test_expected_min_weibull_closed_form () =
+  let d = Weibull.create ~shape:1.5 ~scale:8. in
+  List.iter
+    (fun n ->
+      check_rel ~tol:1e-6
+        (Printf.sprintf "weibull E[min %d]" n)
+        (Order_stats.weibull_expected_min ~shape:1.5 ~scale:8. n)
+        (Order_stats.expected_min d n))
+    [ 1; 3; 9; 81 ]
+
+let test_expected_min_n1_is_mean () =
+  List.iter
+    (fun (name, d) ->
+      let lo, _ = d.Distribution.support in
+      if Float.is_nan d.Distribution.mean || lo < 0. then ()
+      else
+        check_rel ~tol:1e-5
+          (Printf.sprintf "%s E[min 1] = mean" name)
+          d.Distribution.mean (Order_stats.expected_min d 1))
+    (List.filter (fun (n, _) -> n <> "normal" && n <> "levy") families_for_props)
+
+let test_expected_min_monotone_decreasing () =
+  let d = Lognormal.create ~mu:5. ~sigma:1. in
+  let values = List.map (fun n -> Order_stats.expected_min d n) [ 1; 2; 4; 8; 16; 32 ] in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      if b > a then Alcotest.failf "E[min] increased: %g -> %g" a b;
+      check rest
+    | _ -> ()
+  in
+  check values
+
+let test_moment_min_consistency () =
+  let d = Exponential.create ~rate:0.5 in
+  (* First moment equals expected_min. *)
+  check_rel ~tol:1e-6 "k=1 consistency" (Order_stats.expected_min d 4)
+    (Order_stats.moment_min d ~n:4 ~k:1);
+  (* Exponential min of n=4 is exponential rate 2: E[X^2] = 2/rate^2 = 0.5. *)
+  check_rel ~tol:1e-6 "second moment" 0.5 (Order_stats.moment_min d ~n:4 ~k:2);
+  check_rel ~tol:1e-5 "variance of min" 0.25 (Order_stats.variance_min d 4)
+
+let test_cdf_kth_is_beta_of_cdf () =
+  let d = Uniform.create ~lo:0. ~hi:1. in
+  (* For uniform, the k-th order statistic is Beta(k, n-k+1). *)
+  check_rel ~tol:1e-9 "median order stat at 0.5"
+    (Special.beta_inc 3. 3. 0.5)
+    (Order_stats.cdf_kth d ~n:5 ~k:3 0.5);
+  check_float ~eps:1e-12 "below support" 0. (Order_stats.cdf_kth d ~n:5 ~k:3 (-1.));
+  check_float ~eps:1e-12 "above support" 1. (Order_stats.cdf_kth d ~n:5 ~k:3 2.)
+
+let test_expected_kth_uniform () =
+  let d = Uniform.create ~lo:0. ~hi:1. in
+  List.iter
+    (fun (n, k) ->
+      check_rel ~tol:1e-5
+        (Printf.sprintf "uniform E[X_(%d:%d)]" k n)
+        (float_of_int k /. float_of_int (n + 1))
+        (Order_stats.expected_kth d ~n ~k))
+    [ (5, 1); (5, 3); (5, 5); (10, 2); (10, 9) ]
+
+let test_expected_kth_exponential () =
+  (* E[X_(k:n)] = (1/λ) Σ_{i=n-k+1}^{n} 1/i. *)
+  let rate = 0.25 in
+  let d = Exponential.create ~rate in
+  let harmonic a b =
+    let acc = ref 0. in
+    for i = a to b do
+      acc := !acc +. (1. /. float_of_int i)
+    done;
+    !acc
+  in
+  List.iter
+    (fun (n, k) ->
+      check_rel ~tol:1e-5
+        (Printf.sprintf "exp E[X_(%d:%d)]" k n)
+        (harmonic (n - k + 1) n /. rate)
+        (Order_stats.expected_kth d ~n ~k))
+    [ (4, 1); (4, 2); (4, 4); (9, 5) ]
+
+let test_order_stats_validation () =
+  let d = Exponential.create ~rate:1. in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "n=0" (fun () -> Order_stats.expected_min d 0);
+  expect_invalid "k>n" (fun () -> Order_stats.expected_kth d ~n:3 ~k:4);
+  expect_invalid "negative support" (fun () ->
+      Order_stats.expected_min (Normal.create ~mu:0. ~sigma:1.) 2)
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bootstrap_interval_contains_estimate () =
+  let rng = Rng.create ~seed:97 in
+  let xs = Array.init 500 (fun _ -> Rng.exponential rng ~rate:0.1) in
+  let iv = Bootstrap.confidence_interval ~rng ~stat:Summary.mean xs in
+  Alcotest.(check bool) "lo <= estimate" true (iv.Bootstrap.lo <= iv.Bootstrap.estimate);
+  Alcotest.(check bool) "estimate <= hi" true (iv.Bootstrap.estimate <= iv.Bootstrap.hi);
+  (* The true mean 10 should usually be inside a 95% interval. *)
+  Alcotest.(check bool) "contains truth" true
+    (iv.Bootstrap.lo <= 10. && 10. <= iv.Bootstrap.hi)
+
+let test_bootstrap_narrows_with_n () =
+  let rng = Rng.create ~seed:101 in
+  let xs_small = Array.init 50 (fun _ -> Rng.normal rng) in
+  let xs_large = Array.init 5000 (fun _ -> Rng.normal rng) in
+  let w xs =
+    let iv = Bootstrap.confidence_interval ~rng ~stat:Summary.mean xs in
+    iv.Bootstrap.hi -. iv.Bootstrap.lo
+  in
+  Alcotest.(check bool) "larger sample, narrower CI" true (w xs_large < w xs_small)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"quantile: cdf(quantile p) ~ p for exponential"
+      ~count:200
+      (pair (float_range 0.01 0.99) (float_range 0.001 10.))
+      (fun (p, rate) ->
+        let d = Exponential.create ~rate in
+        abs_float (d.Distribution.cdf (d.Distribution.quantile p) -. p) < 1e-9);
+    Test.make ~name:"ks statistic in [0,1]" ~count:100
+      (list_of_size (Gen.int_range 1 50) (float_range 0. 1000.))
+      (fun xs ->
+        let xs = Array.of_list xs in
+        let d = Kolmogorov.statistic xs (fun x -> 1. -. exp (-0.001 *. x)) in
+        d >= 0. && d <= 1.);
+    Test.make ~name:"empirical expected_min decreasing in n" ~count:50
+      (list_of_size (Gen.int_range 2 60) (float_range 1. 1e6))
+      (fun xs ->
+        let e = Empirical.of_array (Array.of_list xs) in
+        let last = ref infinity in
+        List.for_all
+          (fun n ->
+            let v = Empirical.expected_min_exact e n in
+            let ok = v <= !last +. 1e-9 in
+            last := v;
+            ok)
+          [ 1; 2; 4; 8; 16 ]);
+    Test.make ~name:"empirical expected_min bounded by sample min/mean" ~count:100
+      (list_of_size (Gen.int_range 1 50) (float_range 0. 1e5))
+      (fun xs ->
+        let arr = Array.of_list xs in
+        let e = Empirical.of_array arr in
+        let v = Empirical.expected_min_exact e 7 in
+        v >= Empirical.min e -. 1e-9 && v <= Empirical.mean e +. 1e-9);
+    Test.make ~name:"summary quantile is monotone in p" ~count:100
+      (list_of_size (Gen.int_range 1 40) (float_range (-100.) 100.))
+      (fun xs ->
+        let arr = Array.of_list xs in
+        Summary.quantile arr 0.2 <= Summary.quantile arr 0.8 +. 1e-9);
+    Test.make ~name:"histogram counts sum to sample size" ~count:100
+      (list_of_size (Gen.int_range 1 200) (float_range (-50.) 50.))
+      (fun xs ->
+        let arr = Array.of_list xs in
+        let h = Histogram.make arr in
+        Array.fold_left ( + ) 0 h.Histogram.counts = Array.length arr);
+    Test.make ~name:"rng int respects bound" ~count:200
+      (pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let rng = Rng.create ~seed in
+        let k = Rng.int rng bound in
+        k >= 0 && k < bound);
+    Test.make ~name:"survival_power in [0,1] and decreasing in n" ~count:200
+      (pair (float_range 0. 5.) (int_range 1 100))
+      (fun (x, n) ->
+        let cdf = (Exponential.create ~rate:1.).Distribution.cdf in
+        let s1 = Order_stats.survival_power cdf n x in
+        let s2 = Order_stats.survival_power cdf (n + 1) x in
+        s1 >= 0. && s1 <= 1. && s2 <= s1 +. 1e-12);
+  ]
+
+let () =
+  Alcotest.run "lv_stats"
+    [
+      ( "special",
+        [
+          Alcotest.test_case "erf values" `Quick test_erf_values;
+          Alcotest.test_case "erfc values" `Quick test_erfc_values;
+          Alcotest.test_case "erf + erfc = 1" `Quick test_erf_erfc_complement;
+          Alcotest.test_case "erf_inv" `Quick test_erf_inv;
+          Alcotest.test_case "erfc_inv" `Quick test_erfc_inv;
+          Alcotest.test_case "log_gamma" `Quick test_log_gamma;
+          Alcotest.test_case "incomplete gamma" `Quick test_gamma_p_q;
+          Alcotest.test_case "incomplete beta" `Quick test_beta_inc;
+          Alcotest.test_case "digamma" `Quick test_digamma;
+          Alcotest.test_case "normal cdf/quantile" `Quick test_norm_cdf_quantile;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "copy and split" `Quick test_rng_copy_split;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+          Alcotest.test_case "int uniformity" `Quick test_rng_int_uniformity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "normal moments" `Slow test_rng_normal_moments;
+          Alcotest.test_case "exponential moments" `Slow test_rng_exponential_moments;
+          Alcotest.test_case "permutation" `Quick test_rng_permutation;
+        ] );
+      ( "quadrature",
+        [
+          Alcotest.test_case "adaptive simpson" `Quick test_simpson_polynomials;
+          Alcotest.test_case "gauss-legendre" `Quick test_gauss_legendre;
+          Alcotest.test_case "tanh-sinh" `Quick test_tanh_sinh;
+          Alcotest.test_case "semi-infinite transform" `Quick test_integrate_to_infinity;
+          Alcotest.test_case "decaying panels" `Quick test_integrate_decaying;
+        ] );
+      ( "rootfind",
+        [
+          Alcotest.test_case "bisect and brent" `Quick test_bisect_brent;
+          Alcotest.test_case "expand bracket" `Quick test_expand_bracket;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "basic stats" `Quick test_summary_basic;
+          Alcotest.test_case "quantiles" `Quick test_summary_quantile;
+          Alcotest.test_case "errors" `Quick test_summary_errors;
+          Alcotest.test_case "skewness/kurtosis" `Slow test_summary_skew_kurt;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "density normalization" `Quick test_histogram_density_integrates;
+          Alcotest.test_case "binning modes" `Quick test_histogram_binning_modes;
+          Alcotest.test_case "edges and centers" `Quick test_histogram_edges;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "cdf monotone bounded" `Quick test_cdf_monotone_and_bounded;
+          Alcotest.test_case "quantile inverts cdf" `Quick test_quantile_inverts_cdf;
+          Alcotest.test_case "pdf = cdf'" `Quick test_pdf_matches_cdf_derivative;
+          Alcotest.test_case "sampling matches mean" `Slow test_sample_mean_matches;
+          Alcotest.test_case "closed-form means" `Quick test_closed_form_means;
+          Alcotest.test_case "numeric mean cross-check" `Quick test_numeric_mean_cross_check;
+          Alcotest.test_case "shift combinator" `Quick test_shift_properties;
+          Alcotest.test_case "truncated normal" `Slow test_truncated_normal;
+          Alcotest.test_case "levy quantile" `Quick test_levy_quantile;
+          Alcotest.test_case "pretty printing" `Quick test_distribution_pp;
+          Alcotest.test_case "weibull min closure (MC)" `Slow test_min_of_weibull_is_weibull;
+          Alcotest.test_case "pareto family + min stability" `Quick test_pareto_family;
+          Alcotest.test_case "censored exponential MLE" `Quick test_mle_exponential_censored;
+          Alcotest.test_case "invalid parameters" `Quick test_invalid_params;
+        ] );
+      ( "empirical",
+        [
+          Alcotest.test_case "basics" `Quick test_empirical_basic;
+          Alcotest.test_case "expected min exact" `Quick test_empirical_expected_min_exact;
+          Alcotest.test_case "expected min vs MC" `Slow test_empirical_expected_min_matches_mc;
+          Alcotest.test_case "to_distribution" `Quick test_empirical_to_distribution;
+          Alcotest.test_case "resample pool" `Quick test_empirical_resample_draws_from_pool;
+          Alcotest.test_case "quantile" `Quick test_empirical_quantile_interpolates;
+        ] );
+      ( "kolmogorov",
+        [
+          Alcotest.test_case "distribution values" `Quick test_kolmogorov_cdf_values;
+          Alcotest.test_case "perfect-fit statistic" `Quick test_ks_statistic_perfect_fit;
+          Alcotest.test_case "worst-fit statistic" `Quick test_ks_statistic_worst_fit;
+          Alcotest.test_case "accepts own law" `Quick test_ks_accepts_own_distribution;
+          Alcotest.test_case "rejects wrong law" `Quick test_ks_rejects_wrong_distribution;
+          Alcotest.test_case "p-value calibration" `Slow test_ks_p_value_uniformity;
+        ] );
+      ( "mle",
+        [
+          Alcotest.test_case "exponential" `Slow test_mle_exponential;
+          Alcotest.test_case "shifted exponential" `Slow test_mle_shifted_exponential;
+          Alcotest.test_case "shift collapses when spurious" `Quick test_mle_shifted_exponential_collapses_to_zero;
+          Alcotest.test_case "lognormal" `Slow test_mle_lognormal;
+          Alcotest.test_case "shifted lognormal" `Slow test_mle_shifted_lognormal_recovers;
+          Alcotest.test_case "normal" `Slow test_mle_normal;
+          Alcotest.test_case "weibull" `Slow test_mle_weibull;
+          Alcotest.test_case "gamma" `Slow test_mle_gamma;
+          Alcotest.test_case "levy" `Slow test_mle_levy_median_match;
+        ] );
+      ( "order_stats",
+        [
+          Alcotest.test_case "survival power" `Quick test_survival_power_extremes;
+          Alcotest.test_case "exponential closed form" `Quick test_expected_min_exponential_closed_form;
+          Alcotest.test_case "uniform closed form" `Quick test_expected_min_uniform_closed_form;
+          Alcotest.test_case "weibull closed form" `Quick test_expected_min_weibull_closed_form;
+          Alcotest.test_case "E[min 1] = mean" `Quick test_expected_min_n1_is_mean;
+          Alcotest.test_case "monotone in n" `Quick test_expected_min_monotone_decreasing;
+          Alcotest.test_case "higher moments" `Quick test_moment_min_consistency;
+          Alcotest.test_case "k-th cdf via beta" `Quick test_cdf_kth_is_beta_of_cdf;
+          Alcotest.test_case "E[X_(k:n)] uniform" `Quick test_expected_kth_uniform;
+          Alcotest.test_case "E[X_(k:n)] exponential" `Quick test_expected_kth_exponential;
+          Alcotest.test_case "validation" `Quick test_order_stats_validation;
+        ] );
+      ( "bootstrap",
+        [
+          Alcotest.test_case "interval sanity" `Quick test_bootstrap_interval_contains_estimate;
+          Alcotest.test_case "narrows with n" `Slow test_bootstrap_narrows_with_n;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]
