@@ -37,6 +37,24 @@ let micro = Sys.getenv_opt "LV_BENCH_MICRO" <> Some "0"
 let paper_cores = Paper_data.cores
 let fc = Report.float_cell
 
+(* Every top-level phase and campaign records into this sink; the run ends
+   by aggregating it into BENCH_telemetry.json (phase timings, run counts,
+   solve rates) so a reference run leaves a machine-readable record next to
+   the human-readable EXPERIMENTS.md. *)
+let telemetry = Lv_telemetry.Sink.memory ()
+let phase name f = Lv_telemetry.Span.run telemetry ~name f
+
+let write_telemetry_summary path =
+  let report =
+    Lv_telemetry.Report.of_events (Lv_telemetry.Sink.events telemetry)
+  in
+  let oc = open_out path in
+  output_string oc (Lv_telemetry.Json.to_string (Lv_telemetry.Report.to_json report));
+  output_char oc '\n';
+  close_out oc;
+  printf "@.telemetry summary written to %s (%d events)@." path
+    report.Lv_telemetry.Report.events
+
 (* ------------------------------------------------------------------ *)
 (* The three scaled benchmarks                                         *)
 (* ------------------------------------------------------------------ *)
@@ -87,7 +105,8 @@ let campaign_of p =
   printf "  [%s] running %d sequential solves...@." p.label runs;
   let t0 = Unix.gettimeofday () in
   let c =
-    Lv_multiwalk.Campaign.run ~params ~label:p.label ~seed:20130101 ~runs make
+    Lv_multiwalk.Campaign.run ~params ~telemetry ~label:p.label ~seed:20130101
+      ~runs make
   in
   let dt = Unix.gettimeofday () -. t0 in
   printf "  [%s] %d sequential runs in %.1fs (%d unsolved)@." p.label runs dt
@@ -574,7 +593,7 @@ let ablation_solver_params () =
             max_iterations = 2_000_000 }
         in
         let c =
-          Lv_multiwalk.Campaign.run ~params
+          Lv_multiwalk.Campaign.run ~params ~telemetry
             ~label:(Printf.sprintf "costas-%d w%.1f" size walk)
             ~seed:777 ~runs:runs_d
             (fun () -> Lv_problems.Costas.pack size)
@@ -704,20 +723,23 @@ let micro_benchmarks () =
 let () =
   printf "Las Vegas multi-walk speed-up prediction — reproduction harness@.";
   printf "(runs per campaign: %d%s)@." runs (if fast then ", fast mode" else "");
-  fig1 ();
-  fig2_3 ();
-  fig4_5 ();
+  phase "fig1" fig1;
+  phase "fig2_3" fig2_3;
+  phase "fig4_5" fig4_5;
   print_string (Report.section "Sequential campaigns (the paper's Section 5.4)");
-  let campaigns = List.map (fun p -> (p, campaign_of p)) problems in
-  table1_2 campaigns;
-  table3_4 campaigns;
-  let predictions = fit_and_figures campaigns in
-  table5 predictions;
-  fig14 ();
-  ttt_diagnostics campaigns;
-  ablation_observations campaigns;
-  ablation_family campaigns;
-  ablation_shift campaigns;
-  ablation_solver_params ();
-  if micro then micro_benchmarks ();
+  let campaigns =
+    phase "campaigns" (fun () -> List.map (fun p -> (p, campaign_of p)) problems)
+  in
+  phase "table1_2" (fun () -> table1_2 campaigns);
+  phase "table3_4" (fun () -> table3_4 campaigns);
+  let predictions = phase "fit_and_figures" (fun () -> fit_and_figures campaigns) in
+  phase "table5" (fun () -> table5 predictions);
+  phase "fig14" fig14;
+  phase "ttt" (fun () -> ttt_diagnostics campaigns);
+  phase "ablation_observations" (fun () -> ablation_observations campaigns);
+  phase "ablation_family" (fun () -> ablation_family campaigns);
+  phase "ablation_shift" (fun () -> ablation_shift campaigns);
+  phase "ablation_solver_params" ablation_solver_params;
+  if micro then phase "micro_benchmarks" micro_benchmarks;
+  write_telemetry_summary "BENCH_telemetry.json";
   printf "@.done.@."

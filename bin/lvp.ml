@@ -7,7 +7,12 @@
      predict    predict multi-walk speed-ups from a dataset
      simulate   measure multi-walk speed-ups from a dataset (plug-in min)
      race       run a real parallel multi-walk race on OCaml domains
-     paper      print the paper's published tables next to model output *)
+     paper      print the paper's published tables next to model output
+     trace      re-aggregate a --trace JSONL file into a phase report
+
+   The data-producing subcommands (campaign, race, fit, predict) accept
+   --trace FILE.jsonl to record structured telemetry, --verbose to mirror
+   events to stderr as they happen, and --quiet to silence progress. *)
 
 open Cmdliner
 
@@ -71,6 +76,43 @@ let dataset_arg =
     & pos 0 (some file) None
     & info [] ~docv:"DATASET.CSV" ~doc:"Runtime dataset (one value per line or index,value).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.JSONL"
+        ~doc:
+          "Write a JSON Lines telemetry trace to $(docv), one event per line \
+           (re-aggregate it with $(b,lvp trace)).")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress output.")
+
+let verbose_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "verbose"; "v" ]
+        ~doc:"Pretty-print every telemetry event to stderr as it happens.")
+
+(* Build the sink a subcommand's flags ask for, run [f] with it, and make
+   sure the JSONL file is flushed and closed even if [f] raises. *)
+let with_sink ~trace ~verbose f =
+  let file =
+    match trace with
+    | Some path -> (
+      try Lv_telemetry.Sink.jsonl path
+      with Sys_error msg ->
+        Format.eprintf "lvp: cannot open trace file: %s@." msg;
+        exit 2)
+    | None -> Lv_telemetry.Sink.null
+  in
+  let sink =
+    Lv_telemetry.Sink.tee file
+      (if verbose then Lv_telemetry.Sink.console () else Lv_telemetry.Sink.null)
+  in
+  Fun.protect ~finally:(fun () -> Lv_telemetry.Sink.close sink) (fun () -> f sink)
+
 let params_of ~walk ~max_iter name size =
   let base = Lv_problems.Defaults.params name size in
   let base =
@@ -105,59 +147,77 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Run Adaptive Search once on a benchmark instance.") term
 
 let campaign_cmd =
-  let run make size seed walk max_iter runs out =
+  let run make size seed walk max_iter runs out trace quiet verbose =
     let packed0 = make size in
     let name = Lv_search.Csp.packed_name packed0 in
     let params = params_of ~walk ~max_iter name size in
     let label = Printf.sprintf "%s-%d" name size in
+    with_sink ~trace ~verbose @@ fun telemetry ->
+    let progress k =
+      if (not quiet) && k mod 25 = 0 then
+        Printf.eprintf "  %d/%d runs\r%!" k runs
+    in
+    let t0 = Unix.gettimeofday () in
     let c =
-      Lv_multiwalk.Campaign.run ~params ~label ~seed ~runs
-        ~progress:(fun k -> if k mod 25 = 0 then Printf.eprintf "  %d/%d runs\r%!" k runs)
+      Lv_multiwalk.Campaign.run ~params ~telemetry ~label ~seed ~runs ~progress
         (fun () -> make size)
     in
-    Printf.eprintf "\n%!";
+    let wall = Unix.gettimeofday () -. t0 in
+    if not quiet then Printf.eprintf "\n%!";
     let s = Lv_multiwalk.Dataset.summary c.Lv_multiwalk.Campaign.iterations in
-    Format.printf "%s: %d runs (%d unsolved), iterations: %a@." label runs
-      c.Lv_multiwalk.Campaign.n_unsolved Lv_stats.Summary.pp s;
+    Format.printf "%s: %d runs (%d unsolved) in %.3fs, iterations: %a@." label
+      runs c.Lv_multiwalk.Campaign.n_unsolved wall Lv_stats.Summary.pp s;
     (match out with
     | Some path ->
       Lv_multiwalk.Dataset.save_csv c.Lv_multiwalk.Campaign.iterations path;
       Format.printf "saved iteration dataset to %s@." path
+    | None -> ());
+    (match trace with
+    | Some path -> Format.printf "telemetry trace written to %s@." path
     | None -> ());
     0
   in
   let term =
     Term.(
       const run $ problem_arg $ size_arg $ seed_arg $ walk_arg $ max_iter_arg
-      $ runs_arg $ out_arg)
+      $ runs_arg $ out_arg $ trace_arg $ quiet_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Collect sequential runtimes over many independent runs.")
     term
 
 let fit_cmd =
-  let run path alpha =
+  let run path alpha trace quiet verbose =
     let ds = Lv_multiwalk.Dataset.load_csv path in
-    let report = Lv_core.Fit.fit ~alpha ds.Lv_multiwalk.Dataset.values in
-    Format.printf "%a@." Lv_core.Fit.pp_report report;
+    with_sink ~trace ~verbose @@ fun telemetry ->
+    let report =
+      Lv_core.Fit.fit ~alpha ~telemetry ds.Lv_multiwalk.Dataset.values
+    in
+    if not quiet then Format.printf "%a@." Lv_core.Fit.pp_report report;
     0
   in
   let alpha =
     Arg.(value & opt float 0.05 & info [ "alpha" ] ~docv:"A" ~doc:"KS significance level.")
   in
-  let term = Term.(const run $ dataset_arg $ alpha) in
+  let term =
+    Term.(const run $ dataset_arg $ alpha $ trace_arg $ quiet_arg $ verbose_arg)
+  in
   Cmd.v
     (Cmd.info "fit" ~doc:"Fit candidate runtime distributions and KS-test them.")
     term
 
 let predict_cmd =
-  let run path cores =
+  let run path cores trace quiet verbose =
     let ds = Lv_multiwalk.Dataset.load_csv path in
-    let p = Lv_core.Predict.of_dataset ~cores ds in
-    Format.printf "%a@." Lv_core.Predict.pp_prediction p;
+    with_sink ~trace ~verbose @@ fun telemetry ->
+    let p = Lv_core.Predict.of_dataset ~telemetry ~cores ds in
+    if not quiet then Format.printf "%a@." Lv_core.Predict.pp_prediction p;
     0
   in
-  let term = Term.(const run $ dataset_arg $ cores_arg) in
+  let term =
+    Term.(
+      const run $ dataset_arg $ cores_arg $ trace_arg $ quiet_arg $ verbose_arg)
+  in
   Cmd.v
     (Cmd.info "predict" ~doc:"Predict multi-walk speed-ups from a runtime dataset.")
     term
@@ -176,14 +236,17 @@ let simulate_cmd =
     term
 
 let race_cmd =
-  let run make size seed walk max_iter walkers =
+  let run make size seed walk max_iter walkers trace quiet verbose =
     let packed0 = make size in
     let name = Lv_search.Csp.packed_name packed0 in
     let params = params_of ~walk ~max_iter name size in
+    with_sink ~trace ~verbose @@ fun telemetry ->
     let outcome =
-      Lv_multiwalk.Race.wall_clock ~params ~seed ~walkers (fun () -> make size)
+      Lv_multiwalk.Race.wall_clock ~params ~telemetry ~seed ~walkers (fun () ->
+          make size)
     in
-    Format.printf "%a@." Lv_multiwalk.Race.pp_outcome outcome;
+    if not quiet then
+      Format.printf "%a@." Lv_multiwalk.Race.pp_outcome outcome;
     if outcome.Lv_multiwalk.Race.solved then 0 else 1
   in
   let walkers =
@@ -191,7 +254,8 @@ let race_cmd =
   in
   let term =
     Term.(
-      const run $ problem_arg $ size_arg $ seed_arg $ walk_arg $ max_iter_arg $ walkers)
+      const run $ problem_arg $ size_arg $ seed_arg $ walk_arg $ max_iter_arg
+      $ walkers $ trace_arg $ quiet_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "race" ~doc:"Race parallel walkers on OCaml domains; first solution wins.")
@@ -242,6 +306,34 @@ let paper_cmd =
        ~doc:"Replay the paper's Table 5 from its published fitted parameters.")
     term
 
+let trace_cmd =
+  let run path json =
+    match Lv_telemetry.Report.load_jsonl path with
+    | exception Lv_telemetry.Json.Parse_error msg ->
+      Format.eprintf "lvp trace: %s is not a valid trace: %s@." path msg;
+      1
+    | events ->
+      let report = Lv_telemetry.Report.of_events events in
+      if json then
+        print_endline (Lv_telemetry.Json.to_string (Lv_telemetry.Report.to_json report))
+      else Format.printf "%a@." Lv_telemetry.Report.pp report;
+      0
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE.JSONL" ~doc:"Trace file written by --trace.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of a table.")
+  in
+  let term = Term.(const run $ path $ json) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Re-aggregate a --trace JSONL file into a per-phase report.")
+    term
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -252,4 +344,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ solve_cmd; campaign_cmd; fit_cmd; predict_cmd; simulate_cmd;
-            race_cmd; ttt_cmd; paper_cmd ]))
+            race_cmd; ttt_cmd; paper_cmd; trace_cmd ]))

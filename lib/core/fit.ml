@@ -75,16 +75,56 @@ let estimator = function
   | Gamma -> Mle.gamma
   | Levy -> Mle.levy
 
-let fit_one ?alpha candidate xs =
+let fit_one ?alpha ?(telemetry = Lv_telemetry.Sink.null) candidate xs =
+  let traced = not (Lv_telemetry.Sink.is_null telemetry) in
+  let start = if traced then Lv_telemetry.Clock.now_ns () else 0L in
+  let emit ~outcome fields =
+    if traced then
+      Lv_telemetry.Span.emit telemetry ~name:"fit.candidate"
+        ~duration:
+          (Lv_telemetry.Clock.seconds_between ~start
+             ~stop:(Lv_telemetry.Clock.now_ns ()))
+        ~fields:
+          (("candidate", Lv_telemetry.Json.String (candidate_name candidate))
+          :: ("outcome", Lv_telemetry.Json.String outcome)
+          :: fields)
+        ()
+  in
   match (estimator candidate) xs with
   | dist ->
+    let estimated = if traced then Lv_telemetry.Clock.now_ns () else 0L in
     let ks = Kolmogorov.test ?alpha xs dist.Distribution.cdf in
+    emit
+      ~outcome:(if ks.Kolmogorov.accept then "accepted" else "rejected")
+      [
+        ( "estimate_s",
+          Lv_telemetry.Json.Float
+            (Lv_telemetry.Clock.seconds_between ~start ~stop:estimated) );
+        ( "ks_s",
+          Lv_telemetry.Json.Float
+            (Lv_telemetry.Clock.seconds_between ~start:estimated
+               ~stop:(Lv_telemetry.Clock.now_ns ())) );
+        ("p_value", Lv_telemetry.Json.Float ks.Kolmogorov.p_value);
+        ("ks_statistic", Lv_telemetry.Json.Float ks.Kolmogorov.statistic);
+      ];
     Some { candidate; dist; ks }
-  | exception Invalid_argument _ -> None
+  | exception Invalid_argument reason ->
+    emit ~outcome:"inapplicable" [ ("reason", Lv_telemetry.Json.String reason) ];
+    None
 
-let fit ?alpha ?(candidates = all_candidates) xs =
+let fit ?alpha ?(telemetry = Lv_telemetry.Sink.null) ?(candidates = all_candidates)
+    xs =
   if Array.length xs = 0 then invalid_arg "Fit.fit: empty sample";
-  let fits = List.filter_map (fun c -> fit_one ?alpha c xs) candidates in
+  let accepted_cell = ref 0 in
+  Lv_telemetry.Span.run telemetry ~name:"fit"
+    ~fields:(fun () ->
+      [
+        ("sample_size", Lv_telemetry.Json.Int (Array.length xs));
+        ("candidates", Lv_telemetry.Json.Int (List.length candidates));
+        ("accepted", Lv_telemetry.Json.Int !accepted_cell);
+      ])
+  @@ fun () ->
+  let fits = List.filter_map (fun c -> fit_one ?alpha ~telemetry c xs) candidates in
   (* Two candidates can estimate the same law (e.g. a shifted lognormal whose
      best shift is 0); keep the first occurrence only. *)
   let fits =

@@ -55,15 +55,30 @@ type report = {
           (which degrades gracefully to [x0 = 0]) is the safer choice *)
 }
 
-val fit_one : ?alpha:float -> candidate -> float array -> fitted option
+val fit_one :
+  ?alpha:float ->
+  ?telemetry:Lv_telemetry.Sink.t ->
+  candidate ->
+  float array ->
+  fitted option
 (** [None] when the estimator does not apply (e.g. lognormal on data with
-    nonpositive values). *)
+    nonpositive values).  With a live [telemetry] sink, emits one
+    ["fit.candidate"] span carrying the candidate name, the split between
+    estimation and KS-test time ([estimate_s]/[ks_s]), the p-value and the
+    accept/reject/inapplicable outcome. *)
 
-val fit : ?alpha:float -> ?candidates:candidate list -> float array -> report
+val fit :
+  ?alpha:float ->
+  ?telemetry:Lv_telemetry.Sink.t ->
+  ?candidates:candidate list ->
+  float array ->
+  report
 (** Run the whole pool (default {!all_candidates}) at significance [alpha]
     (default 0.05).  Candidates that estimate the {e same} law (e.g. a
     shifted family whose best shift degenerates to 0) appear once in
-    [fits]. *)
+    [fits].  The whole run is wrapped in a ["fit"] telemetry span (sample
+    size, pool size, number accepted) enclosing the per-candidate spans of
+    {!fit_one}. *)
 
 val pp_fitted : Format.formatter -> fitted -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -6,28 +6,63 @@ type prediction = {
   limit : float;
 }
 
-let of_fit ~label ~cores (report : Fit.report) law =
+(* On a null sink this is exactly [Speedup.curve]; otherwise each core
+   count's quadrature gets its own timed "predict.speedup" span. *)
+let traced_curve telemetry law ~cores =
+  if Lv_telemetry.Sink.is_null telemetry then Speedup.curve law ~cores
+  else
+    List.map
+      (fun n ->
+        let start = Lv_telemetry.Clock.now_ns () in
+        let s = Speedup.at law ~cores:n in
+        Lv_telemetry.Span.emit telemetry ~name:"predict.speedup"
+          ~duration:
+            (Lv_telemetry.Clock.seconds_between ~start
+               ~stop:(Lv_telemetry.Clock.now_ns ()))
+          ~fields:
+            [
+              ("cores", Lv_telemetry.Json.Int n);
+              ("speedup", Lv_telemetry.Json.Float s);
+            ]
+          ();
+        { Speedup.cores = n; speedup = s })
+      cores
+
+let of_fit ?(telemetry = Lv_telemetry.Sink.null) ~label ~cores
+    (report : Fit.report) law =
+  Lv_telemetry.Span.run telemetry ~name:"predict"
+    ~fields:(fun () ->
+      [
+        ("label", Lv_telemetry.Json.String label);
+        ("law", Lv_telemetry.Json.String law.Lv_stats.Distribution.name);
+        ("core_counts", Lv_telemetry.Json.Int (List.length cores));
+      ])
+  @@ fun () ->
   {
     label;
     fit = report;
     law;
-    curve = Speedup.curve law ~cores;
+    curve = traced_curve telemetry law ~cores;
     limit = Speedup.limit law;
   }
 
-let of_dataset ?alpha ?candidates ~cores (ds : Lv_multiwalk.Dataset.t) =
-  let report = Fit.fit ?alpha ?candidates ds.Lv_multiwalk.Dataset.values in
+let of_dataset ?alpha ?candidates ?(telemetry = Lv_telemetry.Sink.null) ~cores
+    (ds : Lv_multiwalk.Dataset.t) =
+  let report =
+    Fit.fit ?alpha ~telemetry ?candidates ds.Lv_multiwalk.Dataset.values
+  in
   let chosen =
     match (report.Fit.best, report.Fit.fits) with
     | Some f, _ -> f
     | None, f :: _ -> f
     | None, [] -> invalid_arg "Predict.of_dataset: no candidate could be fitted"
   in
-  of_fit ~label:ds.Lv_multiwalk.Dataset.label ~cores report chosen.Fit.dist
+  of_fit ~telemetry ~label:ds.Lv_multiwalk.Dataset.label ~cores report
+    chosen.Fit.dist
 
-let of_distribution ~label ~cores law =
+let of_distribution ?(telemetry = Lv_telemetry.Sink.null) ~label ~cores law =
   let empty_report = { Fit.sample_size = 0; fits = []; accepted = []; best = None } in
-  of_fit ~label ~cores empty_report law
+  of_fit ~telemetry ~label ~cores empty_report law
 
 type comparison_row = {
   cores : int;

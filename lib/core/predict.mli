@@ -13,17 +13,26 @@ type prediction = {
 val of_dataset :
   ?alpha:float ->
   ?candidates:Fit.candidate list ->
+  ?telemetry:Lv_telemetry.Sink.t ->
   cores:int list ->
   Lv_multiwalk.Dataset.t ->
   prediction
 (** Fit the dataset (keeping the best accepted candidate, or the highest
     p-value fit when nothing clears [alpha]) and predict speed-ups at
-    [cores]. *)
+    [cores].  With a live [telemetry] sink the fit emits its spans (see
+    {!Fit.fit}) and the prediction wraps in a ["predict"] span containing
+    one timed ["predict.speedup"] event per core count (the quadrature
+    cost of each {!Speedup.at} evaluation). *)
 
 val of_distribution :
-  label:string -> cores:int list -> Lv_stats.Distribution.t -> prediction
+  ?telemetry:Lv_telemetry.Sink.t ->
+  label:string ->
+  cores:int list ->
+  Lv_stats.Distribution.t ->
+  prediction
 (** Skip fitting: predict from a known law (used when replaying the paper's
-    published parameters). *)
+    published parameters).  Telemetry as in {!of_dataset}, minus the fit
+    spans. *)
 
 type comparison_row = {
   cores : int;

@@ -5,50 +5,86 @@ type result = {
   n_unsolved : int;
 }
 
-let run_fn ?(domains = 1) ?progress ~label ~seed ~runs make_runner =
+let run_fn ?(domains = 1) ?progress ?(telemetry = Lv_telemetry.Sink.null)
+    ~label ~seed ~runs make_runner =
   if runs <= 0 then invalid_arg "Campaign.run: runs must be positive";
   if domains <= 0 then invalid_arg "Campaign.run: domains must be positive";
-  let results = Array.make runs None in
-  let next = Atomic.make 0 in
-  let completed = Atomic.make 0 in
-  let worker () =
-    let runner = make_runner () in
-    let rec loop () =
-      let r = Atomic.fetch_and_add next 1 in
-      if r < runs then begin
-        let rng = Lv_stats.Rng.create ~seed:(seed + r) in
-        let obs = runner rng in
-        results.(r) <- Some obs;
-        let done_ = Atomic.fetch_and_add completed 1 + 1 in
-        (match progress with Some f -> f done_ | None -> ());
-        loop ()
-      end
+  let traced = not (Lv_telemetry.Sink.is_null telemetry) in
+  let n_unsolved_cell = ref 0 in
+  let body () =
+    let results = Array.make runs None in
+    let next = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let worker w () =
+      let runner = make_runner () in
+      let rec loop () =
+        let r = Atomic.fetch_and_add next 1 in
+        if r < runs then begin
+          let rng = Lv_stats.Rng.create ~seed:(seed + r) in
+          let obs = runner rng in
+          results.(r) <- Some obs;
+          (* Fixed path, not the domain-local nesting path: worker 0 runs
+             on the spawning domain (inside the "campaign" span) while the
+             other workers run on fresh domains, and all their run events
+             must aggregate into one phase. *)
+          if traced then
+            Lv_telemetry.Sink.record telemetry
+              (Lv_telemetry.Event.make
+                 ~ts:(Lv_telemetry.Clock.elapsed ())
+                 ~path:"campaign.run"
+                 (Lv_telemetry.Event.Span obs.Run.seconds)
+                 ~fields:
+                   [
+                     ("run", Lv_telemetry.Json.Int r);
+                     ("seed", Lv_telemetry.Json.Int (seed + r));
+                     ("domain", Lv_telemetry.Json.Int w);
+                     ("iterations", Lv_telemetry.Json.Int obs.Run.iterations);
+                     ("solved", Lv_telemetry.Json.Bool obs.Run.solved);
+                   ]);
+          let done_ = Atomic.fetch_and_add completed 1 + 1 in
+          (match progress with Some f -> f done_ | None -> ());
+          loop ()
+        end
+      in
+      loop ()
     in
-    loop ()
-  in
-  if domains = 1 then worker ()
-  else begin
-    let spawned =
-      Array.init (domains - 1) (fun _ -> Domain.spawn worker)
+    if domains = 1 then worker 0 ()
+    else begin
+      let spawned =
+        Array.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+      in
+      worker 0 ();
+      Array.iter Domain.join spawned
+    end;
+    let observations =
+      Array.to_list results
+      |> List.map (function
+           | Some o -> o
+           | None -> assert false (* every index below [runs] was claimed *))
     in
-    worker ();
-    Array.iter Domain.join spawned
-  end;
-  let observations =
-    Array.to_list results
-    |> List.map (function
-         | Some o -> o
-         | None -> assert false (* every index below [runs] was claimed *))
+    let n_unsolved =
+      List.length (List.filter (fun o -> not o.Run.solved) observations)
+    in
+    n_unsolved_cell := n_unsolved;
+    if n_unsolved = runs then
+      invalid_arg "Campaign.run: no run solved the instance; raise the budget";
+    {
+      observations;
+      iterations = Dataset.of_observations ~label ~metric:`Iterations observations;
+      seconds = Dataset.of_observations ~label ~metric:`Seconds observations;
+      n_unsolved;
+    }
   in
-  let n_unsolved = List.length (List.filter (fun o -> not o.Run.solved) observations) in
-  if n_unsolved = runs then
-    invalid_arg "Campaign.run: no run solved the instance; raise the budget";
-  {
-    observations;
-    iterations = Dataset.of_observations ~label ~metric:`Iterations observations;
-    seconds = Dataset.of_observations ~label ~metric:`Seconds observations;
-    n_unsolved;
-  }
+  Lv_telemetry.Span.run telemetry ~name:"campaign"
+    ~fields:(fun () ->
+      [
+        ("label", Lv_telemetry.Json.String label);
+        ("runs", Lv_telemetry.Json.Int runs);
+        ("domains", Lv_telemetry.Json.Int domains);
+        ("seed", Lv_telemetry.Json.Int seed);
+        ("unsolved", Lv_telemetry.Json.Int !n_unsolved_cell);
+      ])
+    body
 
 let censored_iterations result =
   result.observations
@@ -56,7 +92,7 @@ let censored_iterations result =
          if o.Run.solved then None else Some (float_of_int o.Run.iterations))
   |> Array.of_list
 
-let run ?params ?domains ?progress ~label ~seed ~runs make_instance =
-  run_fn ?domains ?progress ~label ~seed ~runs (fun () ->
+let run ?params ?domains ?progress ?telemetry ~label ~seed ~runs make_instance =
+  run_fn ?domains ?progress ?telemetry ~label ~seed ~runs (fun () ->
       let packed = make_instance () in
       fun rng -> Run.once ?params ~rng packed)

@@ -23,6 +23,7 @@ val run :
   ?params:Lv_search.Params.t ->
   ?domains:int ->
   ?progress:(int -> unit) ->
+  ?telemetry:Lv_telemetry.Sink.t ->
   label:string ->
   seed:int ->
   runs:int ->
@@ -32,11 +33,18 @@ val run :
     solves.  [make_instance] is called once per worker domain (instances are
     mutable and must not be shared).  [domains] defaults to 1; [progress] is
     called with the number of completed runs after each completion.  Seeding
-    is per-run ([seed + run index]), so results do not depend on [domains]. *)
+    is per-run ([seed + run index]), so results do not depend on [domains].
+
+    When [telemetry] (default: the null sink, zero overhead) is a live
+    sink, every run emits one ["campaign.run"] span carrying the run index,
+    its seed, the worker domain, the iteration count and the solved flag,
+    and the whole campaign is wrapped in a ["campaign"] span with the
+    label, run count, domain count and unsolved total. *)
 
 val run_fn :
   ?domains:int ->
   ?progress:(int -> unit) ->
+  ?telemetry:Lv_telemetry.Sink.t ->
   label:string ->
   seed:int ->
   runs:int ->

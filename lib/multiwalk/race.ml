@@ -6,40 +6,87 @@ type outcome = {
   solved : bool;
 }
 
-let wall_clock ?params ~seed ~walkers make_instance =
+let walker_event telemetry ~w ~iterations ~solved ~seconds =
+  Lv_telemetry.Sink.record telemetry
+    (Lv_telemetry.Event.make
+       ~ts:(Lv_telemetry.Clock.elapsed ())
+       ~path:"race.walker"
+       (Lv_telemetry.Event.Span seconds)
+       ~fields:
+         [
+           ("walker", Lv_telemetry.Json.Int w);
+           ("iterations", Lv_telemetry.Json.Int iterations);
+           ("solved", Lv_telemetry.Json.Bool solved);
+         ])
+
+let outcome_fields o =
+  [
+    ("walkers", Lv_telemetry.Json.Int o.walkers);
+    ( "winner",
+      match o.winner with
+      | Some w -> Lv_telemetry.Json.Int w
+      | None -> Lv_telemetry.Json.Null );
+    ("min_iterations", Lv_telemetry.Json.Int o.min_iterations);
+    ("solved", Lv_telemetry.Json.Bool o.solved);
+  ]
+
+let wall_clock ?params ?(telemetry = Lv_telemetry.Sink.null) ~seed ~walkers
+    make_instance =
   if walkers <= 0 then invalid_arg "Race.wall_clock: walkers must be positive";
+  let traced = not (Lv_telemetry.Sink.is_null telemetry) in
   let found = Atomic.make (-1) in
   let t0 = Unix.gettimeofday () in
   let walker w () =
     let packed = make_instance () in
     let rng = Lv_stats.Rng.create ~seed:(seed + w) in
     let stop () = Atomic.get found >= 0 in
+    let start = Lv_telemetry.Clock.now_ns () in
     let result = Lv_search.Adaptive_search.solve_packed ?params ~stop ~rng packed in
     if Lv_search.Adaptive_search.solved result then
       (* First writer wins; later finishers leave the flag alone. *)
       ignore (Atomic.compare_and_set found (-1) w);
-    Lv_search.Adaptive_search.iterations result
+    let iterations = Lv_search.Adaptive_search.iterations result in
+    if traced then
+      walker_event telemetry ~w ~iterations
+        ~solved:(Lv_search.Adaptive_search.solved result)
+        ~seconds:
+          (Lv_telemetry.Clock.seconds_between ~start
+             ~stop:(Lv_telemetry.Clock.now_ns ()));
+    iterations
   in
-  let domains = Array.init walkers (fun w -> Domain.spawn (walker w)) in
-  let iters = Array.map Domain.join domains in
-  let seconds = Unix.gettimeofday () -. t0 in
-  let w = Atomic.get found in
-  if w >= 0 then
-    { walkers; winner = Some w; seconds; min_iterations = iters.(w); solved = true }
-  else
-    {
-      walkers;
-      winner = None;
-      seconds;
-      min_iterations = Array.fold_left Int.min iters.(0) iters;
-      solved = false;
-    }
+  let outcome_cell = ref None in
+  let body () =
+    let domains = Array.init walkers (fun w -> Domain.spawn (walker w)) in
+    let iters = Array.map Domain.join domains in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let w = Atomic.get found in
+    let o =
+      if w >= 0 then
+        { walkers; winner = Some w; seconds; min_iterations = iters.(w); solved = true }
+      else
+        {
+          walkers;
+          winner = None;
+          seconds;
+          min_iterations = Array.fold_left Int.min iters.(0) iters;
+          solved = false;
+        }
+    in
+    outcome_cell := Some o;
+    o
+  in
+  Lv_telemetry.Span.run telemetry ~name:"race"
+    ~fields:(fun () ->
+      match !outcome_cell with Some o -> outcome_fields o | None -> [])
+    body
 
-let iteration_metric ?params ?(domains = 1) ~seed ~walkers make_instance =
+let iteration_metric ?params ?(domains = 1) ?(telemetry = Lv_telemetry.Sink.null)
+    ~seed ~walkers make_instance =
   if walkers <= 0 then invalid_arg "Race.iteration_metric: walkers must be positive";
   let t0 = Unix.gettimeofday () in
   let c =
-    Campaign.run ?params ~domains ~label:"race" ~seed ~runs:walkers make_instance
+    Campaign.run ?params ~domains ~telemetry ~label:"race" ~seed ~runs:walkers
+      make_instance
   in
   let seconds = Unix.gettimeofday () -. t0 in
   let best = ref None in
@@ -50,10 +97,15 @@ let iteration_metric ?params ?(domains = 1) ~seed ~walkers make_instance =
         | Some (_, it) when it <= o.Run.iterations -> ()
         | _ -> best := Some (w, o.Run.iterations))
     c.Campaign.observations;
-  match !best with
-  | Some (w, it) ->
-    { walkers; winner = Some w; seconds; min_iterations = it; solved = true }
-  | None -> { walkers; winner = None; seconds; min_iterations = 0; solved = false }
+  let outcome =
+    match !best with
+    | Some (w, it) ->
+      { walkers; winner = Some w; seconds; min_iterations = it; solved = true }
+    | None -> { walkers; winner = None; seconds; min_iterations = 0; solved = false }
+  in
+  Lv_telemetry.Span.emit telemetry ~name:"race" ~duration:seconds
+    ~fields:(outcome_fields outcome) ();
+  outcome
 
 let pp_outcome ppf o =
   Format.fprintf ppf "walkers=%d %s winner=%s %.3fs min_iters=%d" o.walkers

@@ -24,22 +24,30 @@ type outcome = {
 
 val wall_clock :
   ?params:Lv_search.Params.t ->
+  ?telemetry:Lv_telemetry.Sink.t ->
   seed:int ->
   walkers:int ->
   (unit -> Lv_search.Csp.packed) ->
   outcome
 (** Spawn one domain per walker; the first solver to finish flips a shared
     flag that the others poll and abandon.  [make_instance] is called once
-    per walker. *)
+    per walker.
+
+    With a live [telemetry] sink each walker emits one ["race.walker"]
+    span (walker index, iterations, solved flag, own wall time) and the
+    race itself one ["race"] span carrying the outcome. *)
 
 val iteration_metric :
   ?params:Lv_search.Params.t ->
   ?domains:int ->
+  ?telemetry:Lv_telemetry.Sink.t ->
   seed:int ->
   walkers:int ->
   (unit -> Lv_search.Csp.packed) ->
   outcome
 (** Run all [walkers] to completion and take the minimum iteration count
-    ([seconds] is the wall-clock of collecting them all). *)
+    ([seconds] is the wall-clock of collecting them all).  [telemetry] is
+    forwarded to the underlying {!Campaign.run}, plus one ["race"] span
+    with the outcome. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -4,7 +4,9 @@
 type t
 
 val of_array : float array -> t
-(** Sorts a copy of the sample.  Raises [Invalid_argument] on [[||]]. *)
+(** Sorts a copy of the sample with [Float.compare].  Raises
+    [Invalid_argument] on [[||]] or if any observation is NaN (a NaN would
+    silently corrupt the sort order and every quantile downstream). *)
 
 val size : t -> int
 val sorted : t -> float array

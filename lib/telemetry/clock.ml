@@ -1,0 +1,10 @@
+let now_ns = Monotonic_clock.now
+
+(* The telemetry epoch: module initialisation time.  Event timestamps are
+   seconds since this epoch, so they are small, monotone, and meaningful to
+   diff — absolute wall-clock time is deliberately not recorded. *)
+let epoch = now_ns ()
+
+let ns_to_s ns = Int64.to_float ns *. 1e-9
+let elapsed () = ns_to_s (Int64.sub (now_ns ()) epoch)
+let seconds_between ~start ~stop = ns_to_s (Int64.sub stop start)

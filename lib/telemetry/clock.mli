@@ -1,0 +1,12 @@
+(** Monotonic time source for telemetry spans (CLOCK_MONOTONIC via
+    bechamel's stubs): immune to NTP steps and wall-clock adjustments, so
+    span durations are always nonnegative. *)
+
+val now_ns : unit -> int64
+(** Monotonic nanoseconds; only differences are meaningful. *)
+
+val elapsed : unit -> float
+(** Seconds since the telemetry epoch (process start, first use). *)
+
+val seconds_between : start:int64 -> stop:int64 -> float
+(** Duration in seconds between two {!now_ns} readings. *)

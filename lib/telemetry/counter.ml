@@ -1,0 +1,15 @@
+type t = { name : string; cell : int Atomic.t }
+
+let create name = { name; cell = Atomic.make 0 }
+let name t = t.name
+let incr t = ignore (Atomic.fetch_and_add t.cell 1)
+let add t n = ignore (Atomic.fetch_and_add t.cell n)
+let value t = Atomic.get t.cell
+let reset t = Atomic.set t.cell 0
+
+let flush sink t =
+  if not (Sink.is_null sink) then
+    Sink.record sink
+      (Event.make ~ts:(Clock.elapsed ())
+         ~path:(Span.path_of t.name)
+         (Event.Count (value t)))

@@ -1,0 +1,16 @@
+(** Named atomic counters, safe to bump from any domain.  Counters are
+    process-local accumulators; {!flush} snapshots the current value into a
+    sink as a {!Event.kind.Count} event (the aggregator keeps the last
+    snapshot per path, so periodic flushes are fine). *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+val incr : t -> unit
+val add : t -> int -> unit
+val value : t -> int
+val reset : t -> unit
+
+val flush : Sink.t -> t -> unit
+(** Emit the current value at the calling domain's nesting path. *)

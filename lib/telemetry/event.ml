@@ -1,0 +1,72 @@
+type kind =
+  | Span of float
+  | Count of int
+  | Mark
+
+type t = {
+  ts : float;
+  path : string;
+  kind : kind;
+  fields : (string * Json.t) list;
+}
+
+let make ?(fields = []) ~ts ~path kind = { ts; path; kind; fields }
+
+let name t =
+  match String.rindex_opt t.path '/' with
+  | Some i -> String.sub t.path (i + 1) (String.length t.path - i - 1)
+  | None -> t.path
+
+let duration t = match t.kind with Span d -> Some d | Count _ | Mark -> None
+
+let field key t = List.assoc_opt key t.fields
+
+let to_json t =
+  let kind_fields =
+    match t.kind with
+    | Span d -> [ ("ev", Json.String "span"); ("dur", Json.Float d) ]
+    | Count n -> [ ("ev", Json.String "count"); ("n", Json.Int n) ]
+    | Mark -> [ ("ev", Json.String "mark") ]
+  in
+  Json.Obj
+    (("ts", Json.Float t.ts)
+    :: ("path", Json.String t.path)
+    :: kind_fields
+    @ match t.fields with [] -> [] | f -> [ ("f", Json.Obj f) ])
+
+let of_json j =
+  let get name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> v
+    | None -> raise (Json.Parse_error (Printf.sprintf "event: bad %S field" name))
+  in
+  let kind =
+    match get "ev" Json.to_str with
+    | "span" -> Span (get "dur" Json.to_float)
+    | "count" -> Count (get "n" Json.to_int)
+    | "mark" -> Mark
+    | other ->
+      raise (Json.Parse_error (Printf.sprintf "event: unknown kind %S" other))
+  in
+  let fields =
+    match Json.member "f" j with
+    | Some (Json.Obj kvs) -> kvs
+    | Some _ -> raise (Json.Parse_error "event: \"f\" is not an object")
+    | None -> []
+  in
+  { ts = get "ts" Json.to_float; path = get "path" Json.to_str; kind; fields }
+
+let pp ppf t =
+  let pp_field ppf (k, v) =
+    Format.fprintf ppf " %s=%s" k
+      (match v with Json.String s -> s | v -> Json.to_string v)
+  in
+  let pp_fields ppf fs = List.iter (pp_field ppf) fs in
+  match t.kind with
+  | Span d ->
+    Format.fprintf ppf "[%10.4fs] %-24s %8.2fms%a" t.ts t.path (1000. *. d)
+      pp_fields t.fields
+  | Count n ->
+    Format.fprintf ppf "[%10.4fs] %-24s count=%d%a" t.ts t.path n pp_fields
+      t.fields
+  | Mark -> Format.fprintf ppf "[%10.4fs] %-24s%a" t.ts t.path pp_fields t.fields

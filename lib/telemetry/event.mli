@@ -1,0 +1,38 @@
+(** One structured telemetry event.
+
+    Events are immutable records stamped with a monotonic timestamp and a
+    slash-separated [path] encoding span nesting at the emission site
+    (e.g. ["campaign/campaign.run"]).  The JSONL wire shape is one object
+    per line:
+
+    {v
+    {"ts":0.1031,"path":"campaign/campaign.run","ev":"span","dur":0.0071,
+     "f":{"run":3,"seed":104,"domain":0,"iterations":5213,"solved":true}}
+    v} *)
+
+type kind =
+  | Span of float  (** a timed region; payload = duration in seconds *)
+  | Count of int  (** a counter snapshot; payload = current value *)
+  | Mark  (** an instantaneous point event *)
+
+type t = {
+  ts : float;  (** seconds since the telemetry epoch ({!Clock.elapsed}) *)
+  path : string;  (** nesting path, [/]-separated *)
+  kind : kind;
+  fields : (string * Json.t) list;  (** free-form structured payload *)
+}
+
+val make : ?fields:(string * Json.t) list -> ts:float -> path:string -> kind -> t
+val name : t -> string
+(** Last segment of [path]. *)
+
+val duration : t -> float option
+(** [Some seconds] for spans, [None] otherwise. *)
+
+val field : string -> t -> Json.t option
+val to_json : t -> Json.t
+val of_json : Json.t -> t
+(** Raises {!Json.Parse_error} when the object is not a valid event. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line human rendering (the console sink's format). *)

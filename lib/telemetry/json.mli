@@ -1,0 +1,31 @@
+(** Minimal JSON tree, encoder and parser — just enough for telemetry
+    events and summaries, with no external dependency.  Floats are encoded
+    with round-trip precision ([%.17g]); [nan]/[inf] become [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact one-line encoding (suitable for JSON Lines). *)
+
+val of_string : string -> t
+(** Parses a complete JSON document.  Raises {!Parse_error} on malformed
+    input or trailing garbage. *)
+
+(** {1 Accessors} — shape-tolerant lookups returning [None] on mismatch. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+(** Accepts both [Float] and [Int] payloads. *)
+
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_str : t -> string option

@@ -1,0 +1,40 @@
+(** Aggregation of event streams into per-phase summaries.
+
+    A "phase" is every span event sharing one path: the campaign's per-run
+    spans, a fit's per-candidate spans, a bench section.  The report gives
+    each phase its duration statistics (total, mean, p50/p90/max,
+    throughput) plus solve counts read from the conventional
+    [solved : bool] field.  Counters keep their last snapshot. *)
+
+type phase = {
+  path : string;
+  count : int;  (** span events on this path *)
+  errors : int;  (** spans carrying [error=true] *)
+  total_s : float;
+  min_s : float;
+  mean_s : float;
+  p50_s : float;
+  p90_s : float;
+  max_s : float;
+  rate_per_s : float;  (** [count / total_s] — runs per second of span time *)
+  solved : int;  (** spans carrying [solved=true] *)
+  unsolved : int;  (** spans carrying [solved=false] *)
+}
+
+type t = {
+  events : int;
+  wall_s : float;  (** last timestamp minus first *)
+  phases : phase list;  (** sorted by path *)
+  counters : (string * int) list;  (** last snapshot per counter path *)
+  marks : int;
+}
+
+val of_events : Event.t list -> t
+val find_phase : t -> string -> phase option
+
+val load_jsonl : string -> Event.t list
+(** Re-read a {!Sink.jsonl} trace, skipping blank lines.  Raises
+    {!Json.Parse_error} on a malformed line. *)
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+(** Monotonic-clock spans with domain-local nesting.
+
+    [run sink ~name f] times [f ()] on the monotonic clock and emits one
+    {!Event.kind.Span} event when it returns (or raises — then with an
+    [error=true] field).  While [f] runs, [name] is pushed on a
+    domain-local stack, so spans opened inside [f] get paths like
+    ["outer/inner"].  On the null sink [run] is exactly [f ()]: no clock
+    read, no stack push, no state. *)
+
+val run :
+  Sink.t ->
+  name:string ->
+  ?fields:(unit -> (string * Json.t) list) ->
+  (unit -> 'a) ->
+  'a
+(** The [fields] thunk is evaluated after [f] completes, so it can read
+    results out of mutable cells filled by [f]. *)
+
+val emit :
+  Sink.t ->
+  name:string ->
+  ?duration:float ->
+  ?fields:(string * Json.t) list ->
+  unit ->
+  unit
+(** Emit a single pre-timed event at the current nesting path: a span when
+    [duration] is given, a mark otherwise.  Use this from hot loops that
+    already measured their own elapsed time.  No-op on the null sink, but —
+    unlike {!run} — the [fields] list argument is built by the caller, so
+    guard the call with {!Sink.is_null} when field construction matters. *)
+
+val current_path : unit -> string
+(** The calling domain's open-span path, [""] when none (for tests). *)
+
+val path_of : string -> string
+(** [name] prefixed with the calling domain's open-span path. *)

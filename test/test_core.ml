@@ -231,6 +231,46 @@ let test_table5_costas21_predicted () =
         (Speedup.at law ~cores:n))
     (Paper_data.table5_predicted Paper_data.Costas21)
 
+(* Golden regression for the predicted speed-up tables behind Figures
+   9/11/13: the exact values this implementation produces on the paper's
+   fitted laws, at 10 significant digits.  Unlike the paper-row checks
+   above (6% — the paper prints 3 digits), these pin the quadrature
+   itself: any change to the integrator, the min-distribution transform or
+   the law parameterizations shows up here first. *)
+let golden_speedups =
+  [
+    ( Paper_data.MS200,
+      [ (16, 15.93807435); (32, 22.04152891); (64, 28.28165144);
+        (128, 34.25820356); (256, 39.6980356) ] );
+    ( Paper_data.AI700,
+      [ (16, 13.72961086); (32, 23.84939462); (64, 37.76857222);
+        (128, 53.3314351); (256, 67.17053063) ] );
+    ( Paper_data.Costas21,
+      (* Exponential law: exactly linear, closed form. *)
+      [ (16, 16.); (32, 32.); (64, 64.); (128, 128.); (256, 256.) ] );
+  ]
+
+let test_golden_speedup_tables () =
+  List.iter
+    (fun (b, table) ->
+      let law = Paper_data.fitted_law b in
+      let tol = match b with Paper_data.Costas21 -> 1e-9 | _ -> 1e-6 in
+      List.iter
+        (fun (n, expected) ->
+          check_rel ~tol
+            (Printf.sprintf "%s G_%d" (Paper_data.benchmark_name b) n)
+            expected
+            (Speedup.at law ~cores:n))
+        table)
+    golden_speedups
+
+let test_golden_speedups_cover_paper_cores () =
+  List.iter
+    (fun (_, table) ->
+      Alcotest.(check (list int)) "golden rows cover the paper's core counts"
+        Paper_data.cores (List.map fst table))
+    golden_speedups
+
 let test_paper_data_consistency () =
   (* Fitted laws reproduce Table 2's means within the paper's rounding. *)
   let ai = Paper_data.fitted_law Paper_data.AI700 in
@@ -503,6 +543,8 @@ let () =
           Alcotest.test_case "AI 700 predicted row" `Quick test_table5_ai700_predicted;
           Alcotest.test_case "MS 200 predicted row" `Quick test_table5_ms200_predicted;
           Alcotest.test_case "Costas 21 predicted row" `Quick test_table5_costas21_predicted;
+          Alcotest.test_case "golden speed-up tables (Figs 9/11/13)" `Quick test_golden_speedup_tables;
+          Alcotest.test_case "golden tables cover paper cores" `Quick test_golden_speedups_cover_paper_cores;
           Alcotest.test_case "paper data consistency" `Quick test_paper_data_consistency;
         ] );
       ( "fit",

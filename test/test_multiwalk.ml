@@ -102,6 +102,47 @@ let test_campaign_domain_count_invariant () =
         b.Lv_multiwalk.Run.iterations)
     c1.Lv_multiwalk.Campaign.observations c2.Lv_multiwalk.Campaign.observations
 
+let test_campaign_dataset_identical_across_domains () =
+  (* The full determinism contract: same ~seed with 1 and 4 worker domains
+     must yield the *identical* iterations dataset (values and order), and
+     attaching a telemetry sink must not perturb the schedule.  The run
+     events recorded by the sink describe exactly the observations. *)
+  let sink = Lv_telemetry.Sink.memory () in
+  let c1 = queens_campaign ~domains:1 () in
+  let c4 =
+    Lv_multiwalk.Campaign.run ~domains:4 ~telemetry:sink ~label:"queens-15"
+      ~seed:100 ~runs:30 (fun () -> Lv_problems.Queens.pack 15)
+  in
+  Alcotest.(check bool) "identical iterations datasets" true
+    (c1.Lv_multiwalk.Campaign.iterations.Lv_multiwalk.Dataset.values
+    = c4.Lv_multiwalk.Campaign.iterations.Lv_multiwalk.Dataset.values);
+  Alcotest.(check bool) "identical unsolved counts" true
+    (c1.Lv_multiwalk.Campaign.n_unsolved = c4.Lv_multiwalk.Campaign.n_unsolved);
+  let traced =
+    List.filter
+      (fun ev -> ev.Lv_telemetry.Event.path = "campaign.run")
+      (Lv_telemetry.Sink.events sink)
+    |> List.filter_map (fun ev ->
+           match
+             ( Lv_telemetry.Event.field "run" ev,
+               Lv_telemetry.Event.field "iterations" ev )
+           with
+           | Some r, Some i ->
+             Some
+               ( Option.get (Lv_telemetry.Json.to_int r),
+                 Option.get (Lv_telemetry.Json.to_int i) )
+           | _ -> None)
+    |> List.sort compare
+  in
+  Alcotest.(check int) "one trace event per run" 30 (List.length traced);
+  List.iteri
+    (fun r obs ->
+      Alcotest.(check int)
+        (Printf.sprintf "traced iterations of run %d" r)
+        obs.Lv_multiwalk.Run.iterations
+        (List.assoc r traced))
+    c4.Lv_multiwalk.Campaign.observations
+
 let test_campaign_progress_called () =
   let count = Atomic.make 0 in
   let _ =
@@ -308,6 +349,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_campaign_basic;
           Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
           Alcotest.test_case "domain invariance" `Quick test_campaign_domain_count_invariant;
+          Alcotest.test_case "dataset identical across domains" `Quick
+            test_campaign_dataset_identical_across_domains;
           Alcotest.test_case "progress hook" `Quick test_campaign_progress_called;
           Alcotest.test_case "generic runner" `Quick test_campaign_run_fn_generic;
           Alcotest.test_case "argument validation" `Quick test_campaign_rejects_bad_args;

@@ -633,6 +633,23 @@ let test_empirical_expected_min_matches_mc () =
   if rel_err exact mc > 0.03 then
     Alcotest.failf "plug-in E[min8] %g vs MC %g" exact mc
 
+let test_empirical_rejects_nan () =
+  (* Regression: of_array used to sort with polymorphic compare, which both
+     boxes on every comparison and leaves NaN-contaminated samples in an
+     unspecified order — every quantile downstream silently corrupts. *)
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Empirical.of_array: NaN observation") (fun () ->
+      ignore (Empirical.of_array [| 1.; Float.nan; 2. |]));
+  let e = Empirical.of_array [| 3.; -0.; 1.5; 0.; -2.; Float.max_float |] in
+  check_float ~eps:0. "min" (-2.) (Empirical.min e);
+  check_float ~eps:0. "max" Float.max_float (Empirical.max e);
+  let s = Empirical.sorted e in
+  Array.iteri
+    (fun i v ->
+      if i > 0 && s.(i - 1) > v then
+        Alcotest.failf "not sorted at %d: %g > %g" i s.(i - 1) v)
+    s
+
 let test_empirical_to_distribution () =
   let e = Empirical.of_array [| 1.; 2.; 3. |] in
   let d = Empirical.to_distribution e in
@@ -1021,6 +1038,50 @@ let qcheck_props =
         let e = Empirical.of_array arr in
         let v = Empirical.expected_min_exact e 7 in
         v >= Empirical.min e -. 1e-9 && v <= Empirical.mean e +. 1e-9);
+    Test.make ~name:"empirical expected_min at n=1 is the sample mean" ~count:100
+      (list_of_size (Gen.int_range 1 80) (float_range (-1e4) 1e4))
+      (fun xs ->
+        let arr = Array.of_list xs in
+        let e = Empirical.of_array arr in
+        let mean =
+          Array.fold_left ( +. ) 0. arr /. float_of_int (Array.length arr)
+        in
+        abs_float (Empirical.expected_min_exact e 1 -. mean)
+        <= 1e-9 *. (1. +. abs_float mean));
+    Test.make ~name:"empirical expected_min -> sample min as n -> inf" ~count:50
+      (list_of_size (Gen.int_range 2 40) (float_range 0. 1e6))
+      (fun xs ->
+        let arr = Array.of_list xs in
+        let e = Empirical.of_array arr in
+        let sz = Array.length arr in
+        (* At n = 50N the mass off the minimum position is at most
+           (1 - 1/N)^(50N) ~ e^-50 of the sample range. *)
+        let v = Empirical.expected_min_exact e (50 * sz) in
+        let range = Empirical.max e -. Empirical.min e in
+        v >= Empirical.min e -. 1e-9
+        && v -. Empirical.min e <= 1e-6 *. (1. +. range));
+    Test.make ~name:"empirical expected_min within MC standard error" ~count:5
+      (pair small_int (int_range 2 8))
+      (fun (seed, n) ->
+        (* min_of_draws is an unbiased MC estimator of expected_min_exact;
+           check agreement at 3.5 standard errors (the extra .5 over the
+           usual 3 keeps the suite's flake probability ~1e-3 over 5 cases
+           while still catching any real bias). *)
+        let rng = Rng.create ~seed:(seed + 4242) in
+        let xs = Array.init 300 (fun _ -> Rng.exponential rng ~rate:0.01) in
+        let e = Empirical.of_array xs in
+        let exact = Empirical.expected_min_exact e n in
+        let reps = 4000 in
+        let sum = ref 0. and sumsq = ref 0. in
+        for _ = 1 to reps do
+          let v = Empirical.min_of_draws e rng n in
+          sum := !sum +. v;
+          sumsq := !sumsq +. (v *. v)
+        done;
+        let mean = !sum /. float_of_int reps in
+        let var = Float.max 0. ((!sumsq /. float_of_int reps) -. (mean *. mean)) in
+        let se = sqrt (var /. float_of_int reps) in
+        abs_float (mean -. exact) <= (3.5 *. se) +. 1e-9);
     Test.make ~name:"summary quantile is monotone in p" ~count:100
       (list_of_size (Gen.int_range 1 40) (float_range (-100.) 100.))
       (fun xs ->
@@ -1122,6 +1183,7 @@ let () =
           Alcotest.test_case "basics" `Quick test_empirical_basic;
           Alcotest.test_case "expected min exact" `Quick test_empirical_expected_min_exact;
           Alcotest.test_case "expected min vs MC" `Slow test_empirical_expected_min_matches_mc;
+          Alcotest.test_case "NaN rejected, Float.compare sort" `Quick test_empirical_rejects_nan;
           Alcotest.test_case "to_distribution" `Quick test_empirical_to_distribution;
           Alcotest.test_case "resample pool" `Quick test_empirical_resample_draws_from_pool;
           Alcotest.test_case "quantile" `Quick test_empirical_quantile_interpolates;
