@@ -85,6 +85,18 @@ let trace_arg =
           "Write a JSON Lines telemetry trace to $(docv), one event per line \
            (re-aggregate it with $(b,lvp trace)).")
 
+let pool_domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pool-domains" ] ~docv:"N"
+        ~doc:
+          "Number of worker domains in the execution pool (default: the \
+           runtime's recommended domain count).  All parallel phases — \
+           campaign runs, race walkers, candidate fits, per-core-count \
+           quadratures — multiplex over this one pool; results are \
+           identical for any value.")
+
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress output.")
 
@@ -112,6 +124,11 @@ let with_sink ~trace ~verbose f =
       (if verbose then Lv_telemetry.Sink.console () else Lv_telemetry.Sink.null)
   in
   Fun.protect ~finally:(fun () -> Lv_telemetry.Sink.close sink) (fun () -> f sink)
+
+(* One pool per subcommand invocation, scoped around the work and fed the
+   same sink, so a --trace file ends with the pool.* counter events. *)
+let with_pool ~telemetry domains f =
+  Lv_exec.Pool.with_pool ~telemetry ?domains f
 
 let params_of ~walk ~max_iter name size =
   let base = Lv_problems.Defaults.params name size in
@@ -147,20 +164,21 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Run Adaptive Search once on a benchmark instance.") term
 
 let campaign_cmd =
-  let run make size seed walk max_iter runs out trace quiet verbose =
+  let run make size seed walk max_iter runs out pool_domains trace quiet verbose =
     let packed0 = make size in
     let name = Lv_search.Csp.packed_name packed0 in
     let params = params_of ~walk ~max_iter name size in
     let label = Printf.sprintf "%s-%d" name size in
     with_sink ~trace ~verbose @@ fun telemetry ->
+    with_pool ~telemetry pool_domains @@ fun pool ->
     let progress k =
       if (not quiet) && k mod 25 = 0 then
         Printf.eprintf "  %d/%d runs\r%!" k runs
     in
     let t0 = Unix.gettimeofday () in
     let c =
-      Lv_multiwalk.Campaign.run ~params ~telemetry ~label ~seed ~runs ~progress
-        (fun () -> make size)
+      Lv_multiwalk.Campaign.run ~params ~pool ~telemetry ~label ~seed ~runs
+        ~progress (fun () -> make size)
     in
     let wall = Unix.gettimeofday () -. t0 in
     if not quiet then Printf.eprintf "\n%!";
@@ -180,18 +198,20 @@ let campaign_cmd =
   let term =
     Term.(
       const run $ problem_arg $ size_arg $ seed_arg $ walk_arg $ max_iter_arg
-      $ runs_arg $ out_arg $ trace_arg $ quiet_arg $ verbose_arg)
+      $ runs_arg $ out_arg $ pool_domains_arg $ trace_arg $ quiet_arg
+      $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Collect sequential runtimes over many independent runs.")
     term
 
 let fit_cmd =
-  let run path alpha trace quiet verbose =
+  let run path alpha pool_domains trace quiet verbose =
     let ds = Lv_multiwalk.Dataset.load_csv path in
     with_sink ~trace ~verbose @@ fun telemetry ->
+    with_pool ~telemetry pool_domains @@ fun pool ->
     let report =
-      Lv_core.Fit.fit ~alpha ~telemetry ds.Lv_multiwalk.Dataset.values
+      Lv_core.Fit.fit ~alpha ~pool ~telemetry ds.Lv_multiwalk.Dataset.values
     in
     if not quiet then Format.printf "%a@." Lv_core.Fit.pp_report report;
     0
@@ -200,23 +220,27 @@ let fit_cmd =
     Arg.(value & opt float 0.05 & info [ "alpha" ] ~docv:"A" ~doc:"KS significance level.")
   in
   let term =
-    Term.(const run $ dataset_arg $ alpha $ trace_arg $ quiet_arg $ verbose_arg)
+    Term.(
+      const run $ dataset_arg $ alpha $ pool_domains_arg $ trace_arg
+      $ quiet_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "fit" ~doc:"Fit candidate runtime distributions and KS-test them.")
     term
 
 let predict_cmd =
-  let run path cores trace quiet verbose =
+  let run path cores pool_domains trace quiet verbose =
     let ds = Lv_multiwalk.Dataset.load_csv path in
     with_sink ~trace ~verbose @@ fun telemetry ->
-    let p = Lv_core.Predict.of_dataset ~telemetry ~cores ds in
+    with_pool ~telemetry pool_domains @@ fun pool ->
+    let p = Lv_core.Predict.of_dataset ~pool ~telemetry ~cores ds in
     if not quiet then Format.printf "%a@." Lv_core.Predict.pp_prediction p;
     0
   in
   let term =
     Term.(
-      const run $ dataset_arg $ cores_arg $ trace_arg $ quiet_arg $ verbose_arg)
+      const run $ dataset_arg $ cores_arg $ pool_domains_arg $ trace_arg
+      $ quiet_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "predict" ~doc:"Predict multi-walk speed-ups from a runtime dataset.")
@@ -236,14 +260,15 @@ let simulate_cmd =
     term
 
 let race_cmd =
-  let run make size seed walk max_iter walkers trace quiet verbose =
+  let run make size seed walk max_iter walkers pool_domains trace quiet verbose =
     let packed0 = make size in
     let name = Lv_search.Csp.packed_name packed0 in
     let params = params_of ~walk ~max_iter name size in
     with_sink ~trace ~verbose @@ fun telemetry ->
+    with_pool ~telemetry pool_domains @@ fun pool ->
     let outcome =
-      Lv_multiwalk.Race.wall_clock ~params ~telemetry ~seed ~walkers (fun () ->
-          make size)
+      Lv_multiwalk.Race.wall_clock ~params ~pool ~telemetry ~seed ~walkers
+        (fun () -> make size)
     in
     if not quiet then
       Format.printf "%a@." Lv_multiwalk.Race.pp_outcome outcome;
@@ -255,7 +280,7 @@ let race_cmd =
   let term =
     Term.(
       const run $ problem_arg $ size_arg $ seed_arg $ walk_arg $ max_iter_arg
-      $ walkers $ trace_arg $ quiet_arg $ verbose_arg)
+      $ walkers $ pool_domains_arg $ trace_arg $ quiet_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "race" ~doc:"Race parallel walkers on OCaml domains; first solution wins.")

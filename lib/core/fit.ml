@@ -75,20 +75,26 @@ let estimator = function
   | Gamma -> Mle.gamma
   | Levy -> Mle.levy
 
-let fit_one ?alpha ?(telemetry = Lv_telemetry.Sink.null) candidate xs =
+(* [path] is the full, pre-resolved event path: candidates are fitted on
+   pool workers, whose domain-local span stack is empty, so the enclosing
+   "fit" span's path must be baked in by the caller rather than recovered
+   from nesting. *)
+let fit_one_at ?alpha ~telemetry ~path candidate xs =
   let traced = not (Lv_telemetry.Sink.is_null telemetry) in
   let start = if traced then Lv_telemetry.Clock.now_ns () else 0L in
   let emit ~outcome fields =
     if traced then
-      Lv_telemetry.Span.emit telemetry ~name:"fit.candidate"
-        ~duration:
-          (Lv_telemetry.Clock.seconds_between ~start
-             ~stop:(Lv_telemetry.Clock.now_ns ()))
-        ~fields:
-          (("candidate", Lv_telemetry.Json.String (candidate_name candidate))
-          :: ("outcome", Lv_telemetry.Json.String outcome)
-          :: fields)
-        ()
+      Lv_telemetry.Sink.record telemetry
+        (Lv_telemetry.Event.make
+           ~ts:(Lv_telemetry.Clock.elapsed ())
+           ~path
+           (Lv_telemetry.Event.Span
+              (Lv_telemetry.Clock.seconds_between ~start
+                 ~stop:(Lv_telemetry.Clock.now_ns ())))
+           ~fields:
+             (("candidate", Lv_telemetry.Json.String (candidate_name candidate))
+             :: ("outcome", Lv_telemetry.Json.String outcome)
+             :: fields))
   in
   match (estimator candidate) xs with
   | dist ->
@@ -112,8 +118,20 @@ let fit_one ?alpha ?(telemetry = Lv_telemetry.Sink.null) candidate xs =
     emit ~outcome:"inapplicable" [ ("reason", Lv_telemetry.Json.String reason) ];
     None
 
-let fit ?alpha ?(telemetry = Lv_telemetry.Sink.null) ?(candidates = all_candidates)
-    xs =
+let fit_one ?alpha ?(telemetry = Lv_telemetry.Sink.null) candidate xs =
+  fit_one_at ?alpha ~telemetry
+    ~path:(Lv_telemetry.Span.path_of "fit.candidate")
+    candidate xs
+
+(* Descending p-value under [Float.compare]'s total order: a NaN p-value
+   (degenerate KS input) sorts below every real number instead of landing
+   wherever the polymorphic compare's unspecified NaN ordering puts it —
+   possibly at the top of [fits]. *)
+let compare_by_p_value a b =
+  Float.compare b.ks.Kolmogorov.p_value a.ks.Kolmogorov.p_value
+
+let fit ?alpha ?pool ?(telemetry = Lv_telemetry.Sink.null)
+    ?(candidates = all_candidates) xs =
   if Array.length xs = 0 then invalid_arg "Fit.fit: empty sample";
   let accepted_cell = ref 0 in
   Lv_telemetry.Span.run telemetry ~name:"fit"
@@ -124,7 +142,14 @@ let fit ?alpha ?(telemetry = Lv_telemetry.Sink.null) ?(candidates = all_candidat
         ("accepted", Lv_telemetry.Json.Int !accepted_cell);
       ])
   @@ fun () ->
-  let fits = List.filter_map (fun c -> fit_one ?alpha ~telemetry c xs) candidates in
+  let p = match pool with Some p -> p | None -> Lv_exec.Pool.default () in
+  let fits =
+    Lv_exec.Pool.parallel_map p
+      (fun c -> fit_one_at ?alpha ~telemetry ~path:"fit/fit.candidate" c xs)
+      (Array.of_list candidates)
+    |> Array.to_list
+    |> List.filter_map Fun.id
+  in
   (* Two candidates can estimate the same law (e.g. a shifted lognormal whose
      best shift is 0); keep the first occurrence only. *)
   let fits =
@@ -141,11 +166,7 @@ let fit ?alpha ?(telemetry = Lv_telemetry.Sink.null) ?(candidates = all_candidat
         end)
       fits
   in
-  let fits =
-    List.sort
-      (fun a b -> compare b.ks.Kolmogorov.p_value a.ks.Kolmogorov.p_value)
-      fits
-  in
+  let fits = List.sort compare_by_p_value fits in
   let accepted = List.filter (fun f -> f.ks.Kolmogorov.accept) fits in
   (* Best = highest p-value among the accepted, except that a shifted
      family is preferred over its unshifted special case when both pass:

@@ -67,18 +67,26 @@ val fit_one :
     estimation and KS-test time ([estimate_s]/[ks_s]), the p-value and the
     accept/reject/inapplicable outcome. *)
 
+val compare_by_p_value : fitted -> fitted -> int
+(** Decreasing KS p-value, under [Float.compare]'s total order: a NaN
+    p-value (degenerate KS input) always sorts last, never first.  This is
+    the order of {!report.fits}. *)
+
 val fit :
   ?alpha:float ->
+  ?pool:Lv_exec.Pool.t ->
   ?telemetry:Lv_telemetry.Sink.t ->
   ?candidates:candidate list ->
   float array ->
   report
 (** Run the whole pool (default {!all_candidates}) at significance [alpha]
-    (default 0.05).  Candidates that estimate the {e same} law (e.g. a
-    shifted family whose best shift degenerates to 0) appear once in
-    [fits].  The whole run is wrapped in a ["fit"] telemetry span (sample
-    size, pool size, number accepted) enclosing the per-candidate spans of
-    {!fit_one}. *)
+    (default 0.05).  Candidates are fitted in parallel on [pool] (default
+    {!Lv_exec.Pool.default}); the report is deterministic regardless of
+    pool size.  Candidates that estimate the {e same} law (e.g. a shifted
+    family whose best shift degenerates to 0) appear once in [fits].  The
+    whole run is wrapped in a ["fit"] telemetry span (sample size, pool
+    size, number accepted); the per-candidate spans are emitted under the
+    fixed path ["fit/fit.candidate"] whatever worker they ran on. *)
 
 val pp_fitted : Format.formatter -> fitted -> unit
 val pp_report : Format.formatter -> report -> unit

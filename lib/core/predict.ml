@@ -6,30 +6,36 @@ type prediction = {
   limit : float;
 }
 
-(* On a null sink this is exactly [Speedup.curve]; otherwise each core
-   count's quadrature gets its own timed "predict.speedup" span. *)
-let traced_curve telemetry law ~cores =
-  if Lv_telemetry.Sink.is_null telemetry then Speedup.curve law ~cores
+(* On a null sink this is exactly [Speedup.curve ~pool]; otherwise each
+   core count's quadrature gets its own timed "predict.speedup" span, under
+   a fixed path because the quadratures run on pool workers (outside the
+   "predict" span's domain). *)
+let traced_curve telemetry pool law ~cores =
+  if Lv_telemetry.Sink.is_null telemetry then Speedup.curve ~pool law ~cores
   else
-    List.map
+    Lv_exec.Pool.parallel_map pool
       (fun n ->
         let start = Lv_telemetry.Clock.now_ns () in
         let s = Speedup.at law ~cores:n in
-        Lv_telemetry.Span.emit telemetry ~name:"predict.speedup"
-          ~duration:
-            (Lv_telemetry.Clock.seconds_between ~start
-               ~stop:(Lv_telemetry.Clock.now_ns ()))
-          ~fields:
-            [
-              ("cores", Lv_telemetry.Json.Int n);
-              ("speedup", Lv_telemetry.Json.Float s);
-            ]
-          ();
+        Lv_telemetry.Sink.record telemetry
+          (Lv_telemetry.Event.make
+             ~ts:(Lv_telemetry.Clock.elapsed ())
+             ~path:"predict/predict.speedup"
+             (Lv_telemetry.Event.Span
+                (Lv_telemetry.Clock.seconds_between ~start
+                   ~stop:(Lv_telemetry.Clock.now_ns ())))
+             ~fields:
+               [
+                 ("cores", Lv_telemetry.Json.Int n);
+                 ("speedup", Lv_telemetry.Json.Float s);
+               ]);
         { Speedup.cores = n; speedup = s })
-      cores
+      (Array.of_list cores)
+    |> Array.to_list
 
-let of_fit ?(telemetry = Lv_telemetry.Sink.null) ~label ~cores
+let of_fit ?pool ?(telemetry = Lv_telemetry.Sink.null) ~label ~cores
     (report : Fit.report) law =
+  let pool = match pool with Some p -> p | None -> Lv_exec.Pool.default () in
   Lv_telemetry.Span.run telemetry ~name:"predict"
     ~fields:(fun () ->
       [
@@ -42,14 +48,14 @@ let of_fit ?(telemetry = Lv_telemetry.Sink.null) ~label ~cores
     label;
     fit = report;
     law;
-    curve = traced_curve telemetry law ~cores;
+    curve = traced_curve telemetry pool law ~cores;
     limit = Speedup.limit law;
   }
 
-let of_dataset ?alpha ?candidates ?(telemetry = Lv_telemetry.Sink.null) ~cores
-    (ds : Lv_multiwalk.Dataset.t) =
+let of_dataset ?alpha ?candidates ?pool ?(telemetry = Lv_telemetry.Sink.null)
+    ~cores (ds : Lv_multiwalk.Dataset.t) =
   let report =
-    Fit.fit ?alpha ~telemetry ?candidates ds.Lv_multiwalk.Dataset.values
+    Fit.fit ?alpha ?pool ~telemetry ?candidates ds.Lv_multiwalk.Dataset.values
   in
   let chosen =
     match (report.Fit.best, report.Fit.fits) with
@@ -57,12 +63,13 @@ let of_dataset ?alpha ?candidates ?(telemetry = Lv_telemetry.Sink.null) ~cores
     | None, f :: _ -> f
     | None, [] -> invalid_arg "Predict.of_dataset: no candidate could be fitted"
   in
-  of_fit ~telemetry ~label:ds.Lv_multiwalk.Dataset.label ~cores report
+  of_fit ?pool ~telemetry ~label:ds.Lv_multiwalk.Dataset.label ~cores report
     chosen.Fit.dist
 
-let of_distribution ?(telemetry = Lv_telemetry.Sink.null) ~label ~cores law =
+let of_distribution ?pool ?(telemetry = Lv_telemetry.Sink.null) ~label ~cores
+    law =
   let empty_report = { Fit.sample_size = 0; fits = []; accepted = []; best = None } in
-  of_fit ~telemetry ~label ~cores empty_report law
+  of_fit ?pool ~telemetry ~label ~cores empty_report law
 
 type comparison_row = {
   cores : int;

@@ -13,18 +13,23 @@ type prediction = {
 val of_dataset :
   ?alpha:float ->
   ?candidates:Fit.candidate list ->
+  ?pool:Lv_exec.Pool.t ->
   ?telemetry:Lv_telemetry.Sink.t ->
   cores:int list ->
   Lv_multiwalk.Dataset.t ->
   prediction
 (** Fit the dataset (keeping the best accepted candidate, or the highest
     p-value fit when nothing clears [alpha]) and predict speed-ups at
-    [cores].  With a live [telemetry] sink the fit emits its spans (see
-    {!Fit.fit}) and the prediction wraps in a ["predict"] span containing
-    one timed ["predict.speedup"] event per core count (the quadrature
-    cost of each {!Speedup.at} evaluation). *)
+    [cores].  Both the candidate fits and the per-core-count quadratures
+    run on [pool] (default {!Lv_exec.Pool.default}); results are
+    deterministic regardless of pool size.  With a live [telemetry] sink
+    the fit emits its spans (see {!Fit.fit}) and the prediction wraps in a
+    ["predict"] span containing one timed ["predict/predict.speedup"]
+    event per core count (the quadrature cost of each {!Speedup.at}
+    evaluation), emitted under that fixed path whatever worker ran it. *)
 
 val of_distribution :
+  ?pool:Lv_exec.Pool.t ->
   ?telemetry:Lv_telemetry.Sink.t ->
   label:string ->
   cores:int list ->

@@ -1,0 +1,5 @@
+type t = bool Atomic.t
+
+let create () = Atomic.make false
+let set t = Atomic.set t true
+let is_set t = Atomic.get t

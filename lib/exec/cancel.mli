@@ -1,0 +1,15 @@
+(** Cooperative cancellation tokens.
+
+    A token is a latch: once {!set}, it stays set.  The pool consults it to
+    skip tasks that have not started yet (see {!Pool.parallel_map}); running
+    tasks observe it through their own polling — exactly the shape of a
+    multi-walk race stop-flag, where the winning walker flips the token and
+    the losers abandon their search at the next iteration boundary. *)
+
+type t
+
+val create : unit -> t
+val set : t -> unit
+(** Idempotent; safe from any domain. *)
+
+val is_set : t -> bool

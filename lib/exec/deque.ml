@@ -1,0 +1,58 @@
+type 'a t = {
+  lock : Mutex.t;
+  mutable buf : 'a option array;
+  mutable head : int;  (* ring index of the top (oldest) element *)
+  mutable len : int;
+  mutable hwm : int;
+}
+
+let create ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Deque.create: capacity must be positive";
+  { lock = Mutex.create (); buf = Array.make capacity None; head = 0; len = 0; hwm = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  let r = f () in
+  Mutex.unlock t.lock;
+  r
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (2 * cap) None in
+  for i = 0 to t.len - 1 do
+    buf.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push t x =
+  locked t @@ fun () ->
+  if t.len = Array.length t.buf then grow t;
+  t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
+  t.len <- t.len + 1;
+  if t.len > t.hwm then t.hwm <- t.len
+
+let pop t =
+  locked t @@ fun () ->
+  if t.len = 0 then None
+  else begin
+    let i = (t.head + t.len - 1) mod Array.length t.buf in
+    let r = t.buf.(i) in
+    t.buf.(i) <- None;
+    t.len <- t.len - 1;
+    r
+  end
+
+let steal t =
+  locked t @@ fun () ->
+  if t.len = 0 then None
+  else begin
+    let r = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1;
+    r
+  end
+
+let size t = locked t (fun () -> t.len)
+let high_water t = locked t (fun () -> t.hwm)

@@ -1,0 +1,30 @@
+(** Work-stealing deque: the per-worker run queue of {!Pool}.
+
+    The owning worker pushes and pops at the bottom (LIFO — freshly pushed
+    work stays hot in its cache); thieves steal from the top (FIFO — they
+    take the oldest, largest-granularity work first).  Every operation is
+    guarded by one mutex per deque: tasks in this codebase are whole solver
+    runs or whole quadratures, microseconds to seconds each, so lock
+    traffic is noise and the lock-free Chase–Lev construction would buy
+    nothing but subtlety. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] is the initial ring size (default 64); the ring grows
+    geometrically as needed and never shrinks. *)
+
+val push : 'a t -> 'a -> unit
+(** Append at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Take from the bottom (newest element) — the owner's fast path. *)
+
+val steal : 'a t -> 'a option
+(** Take from the top (oldest element) — the thieves' path. *)
+
+val size : 'a t -> int
+(** Current number of queued elements. *)
+
+val high_water : 'a t -> int
+(** Largest size ever observed — the queue-depth telemetry statistic. *)

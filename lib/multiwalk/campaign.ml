@@ -5,62 +5,66 @@ type result = {
   n_unsolved : int;
 }
 
-let run_fn ?(domains = 1) ?progress ?(telemetry = Lv_telemetry.Sink.null)
+let run_fn ?(domains = 1) ?pool ?progress ?(telemetry = Lv_telemetry.Sink.null)
     ~label ~seed ~runs make_runner =
   if runs <= 0 then invalid_arg "Campaign.run: runs must be positive";
   if domains <= 0 then invalid_arg "Campaign.run: domains must be positive";
   let traced = not (Lv_telemetry.Sink.is_null telemetry) in
   let n_unsolved_cell = ref 0 in
+  let pool_size_cell = ref domains in
   let body () =
-    let results = Array.make runs None in
-    let next = Atomic.make 0 in
-    let completed = Atomic.make 0 in
-    let worker w () =
-      let runner = make_runner () in
-      let rec loop () =
-        let r = Atomic.fetch_and_add next 1 in
-        if r < runs then begin
-          let rng = Lv_stats.Rng.create ~seed:(seed + r) in
-          let obs = runner rng in
-          results.(r) <- Some obs;
-          (* Fixed path, not the domain-local nesting path: worker 0 runs
-             on the spawning domain (inside the "campaign" span) while the
-             other workers run on fresh domains, and all their run events
-             must aggregate into one phase. *)
-          if traced then
-            Lv_telemetry.Sink.record telemetry
-              (Lv_telemetry.Event.make
-                 ~ts:(Lv_telemetry.Clock.elapsed ())
-                 ~path:"campaign.run"
-                 (Lv_telemetry.Event.Span obs.Run.seconds)
-                 ~fields:
-                   [
-                     ("run", Lv_telemetry.Json.Int r);
-                     ("seed", Lv_telemetry.Json.Int (seed + r));
-                     ("domain", Lv_telemetry.Json.Int w);
-                     ("iterations", Lv_telemetry.Json.Int obs.Run.iterations);
-                     ("solved", Lv_telemetry.Json.Bool obs.Run.solved);
-                   ]);
-          let done_ = Atomic.fetch_and_add completed 1 + 1 in
-          (match progress with Some f -> f done_ | None -> ());
-          loop ()
-        end
-      in
-      loop ()
+    let with_p f =
+      match pool with
+      | Some p -> f p
+      | None -> Lv_exec.Pool.with_pool ~domains f
     in
-    if domains = 1 then worker 0 ()
-    else begin
-      let spawned =
-        Array.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    with_p @@ fun p ->
+    pool_size_cell := Lv_exec.Pool.size p;
+    (* One runner per pool worker, created lazily on that worker's first
+       run: instances are mutable and must not be shared, but they are
+       profitably reused across the runs one worker executes.  Each slot is
+       only ever touched by its own worker. *)
+    let runners = Array.make (Lv_exec.Pool.size p) None in
+    let completed = Atomic.make 0 in
+    let one_run r =
+      let w = Option.value (Lv_exec.Pool.worker_index ()) ~default:0 in
+      let runner =
+        match runners.(w) with
+        | Some f -> f
+        | None ->
+          let f = make_runner () in
+          runners.(w) <- Some f;
+          f
       in
-      worker 0 ();
-      Array.iter Domain.join spawned
-    end;
+      let rng = Lv_stats.Rng.create ~seed:(seed + r) in
+      let obs = runner rng in
+      (* Fixed path, not the domain-local nesting path: runs execute on
+         pool workers (outside the "campaign" span's domain), and all
+         their run events must aggregate into one phase. *)
+      if traced then
+        Lv_telemetry.Sink.record telemetry
+          (Lv_telemetry.Event.make
+             ~ts:(Lv_telemetry.Clock.elapsed ())
+             ~path:"campaign.run"
+             (Lv_telemetry.Event.Span obs.Run.seconds)
+             ~fields:
+               [
+                 ("run", Lv_telemetry.Json.Int r);
+                 ("seed", Lv_telemetry.Json.Int (seed + r));
+                 ("domain", Lv_telemetry.Json.Int w);
+                 ("iterations", Lv_telemetry.Json.Int obs.Run.iterations);
+                 ("solved", Lv_telemetry.Json.Bool obs.Run.solved);
+               ]);
+      let done_ = Atomic.fetch_and_add completed 1 + 1 in
+      (match progress with Some f -> f done_ | None -> ());
+      obs
+    in
+    (* Result slot [r] is filled by run [r] wherever it executed, so the
+       dataset is byte-identical for every pool size; a runner exception
+       aborts the campaign — the pool joins every in-flight run first,
+       then re-raises it here (no leaked domains, no unclaimed slots). *)
     let observations =
-      Array.to_list results
-      |> List.map (function
-           | Some o -> o
-           | None -> assert false (* every index below [runs] was claimed *))
+      Array.to_list (Lv_exec.Pool.parallel_map p one_run (Array.init runs Fun.id))
     in
     let n_unsolved =
       List.length (List.filter (fun o -> not o.Run.solved) observations)
@@ -80,7 +84,7 @@ let run_fn ?(domains = 1) ?progress ?(telemetry = Lv_telemetry.Sink.null)
       [
         ("label", Lv_telemetry.Json.String label);
         ("runs", Lv_telemetry.Json.Int runs);
-        ("domains", Lv_telemetry.Json.Int domains);
+        ("domains", Lv_telemetry.Json.Int !pool_size_cell);
         ("seed", Lv_telemetry.Json.Int seed);
         ("unsolved", Lv_telemetry.Json.Int !n_unsolved_cell);
       ])
@@ -92,7 +96,8 @@ let censored_iterations result =
          if o.Run.solved then None else Some (float_of_int o.Run.iterations))
   |> Array.of_list
 
-let run ?params ?domains ?progress ?telemetry ~label ~seed ~runs make_instance =
-  run_fn ?domains ?progress ?telemetry ~label ~seed ~runs (fun () ->
+let run ?params ?domains ?pool ?progress ?telemetry ~label ~seed ~runs
+    make_instance =
+  run_fn ?domains ?pool ?progress ?telemetry ~label ~seed ~runs (fun () ->
       let packed = make_instance () in
       fun rng -> Run.once ?params ~rng packed)

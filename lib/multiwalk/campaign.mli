@@ -4,7 +4,12 @@
 
     Runs are independent, so campaigns optionally spread across OCaml 5
     domains — this parallelism only accelerates data *collection*; each
-    observation is still a sequential run. *)
+    observation is still a sequential run.  Execution goes through
+    {!Lv_exec.Pool}: pass [?pool] to share one set of worker domains with
+    other phases, or [?domains] to let the campaign scope a private pool
+    for its duration.  Runner exceptions are contained by the pool's
+    barrier — every in-flight run is joined, then the first exception is
+    re-raised with its backtrace from [run]. *)
 
 type result = {
   observations : Run.observation list;
@@ -22,6 +27,7 @@ val censored_iterations : result -> float array
 val run :
   ?params:Lv_search.Params.t ->
   ?domains:int ->
+  ?pool:Lv_exec.Pool.t ->
   ?progress:(int -> unit) ->
   ?telemetry:Lv_telemetry.Sink.t ->
   label:string ->
@@ -30,10 +36,14 @@ val run :
   (unit -> Lv_search.Csp.packed) ->
   result
 (** [run ~label ~seed ~runs make_instance] performs [runs] independent
-    solves.  [make_instance] is called once per worker domain (instances are
-    mutable and must not be shared).  [domains] defaults to 1; [progress] is
-    called with the number of completed runs after each completion.  Seeding
-    is per-run ([seed + run index]), so results do not depend on [domains].
+    solves.  [make_instance] is called at most once per pool worker, on that
+    worker's first run (instances are mutable and must not be shared).
+    [pool] selects the executor; when absent a private pool of [domains]
+    workers (default 1) is created for the campaign and shut down after.
+    [progress] is called with the number of completed runs after each
+    completion.  Seeding is per-run ([seed + run index]) and results are
+    slotted by run index, so the datasets are byte-identical whatever the
+    pool size.
 
     When [telemetry] (default: the null sink, zero overhead) is a live
     sink, every run emits one ["campaign.run"] span carrying the run index,
@@ -43,6 +53,7 @@ val run :
 
 val run_fn :
   ?domains:int ->
+  ?pool:Lv_exec.Pool.t ->
   ?progress:(int -> unit) ->
   ?telemetry:Lv_telemetry.Sink.t ->
   label:string ->
@@ -51,7 +62,7 @@ val run_fn :
   (unit -> Lv_stats.Rng.t -> Run.observation) ->
   result
 (** Generic campaign over any Las Vegas algorithm: [make_runner ()] is
-    called once per worker domain and must return a function performing one
-    independent run from the given generator (e.g. a WalkSAT solve or a
-    randomized-quicksort measurement).  Same seeding and determinism
-    guarantees as {!run}. *)
+    called at most once per pool worker and must return a function
+    performing one independent run from the given generator (e.g. a WalkSAT
+    solve or a randomized-quicksort measurement).  Same seeding and
+    determinism guarantees as {!run}. *)

@@ -30,21 +30,27 @@ let outcome_fields o =
     ("solved", Lv_telemetry.Json.Bool o.solved);
   ]
 
-let wall_clock ?params ?(telemetry = Lv_telemetry.Sink.null) ~seed ~walkers
-    make_instance =
+let wall_clock ?params ?pool ?(telemetry = Lv_telemetry.Sink.null) ~seed
+    ~walkers make_instance =
   if walkers <= 0 then invalid_arg "Race.wall_clock: walkers must be positive";
+  let p = match pool with Some p -> p | None -> Lv_exec.Pool.default () in
   let traced = not (Lv_telemetry.Sink.is_null telemetry) in
   let found = Atomic.make (-1) in
+  let cancel = Lv_exec.Cancel.create () in
   let t0 = Unix.gettimeofday () in
-  let walker w () =
+  let walker w =
     let packed = make_instance () in
     let rng = Lv_stats.Rng.create ~seed:(seed + w) in
+    (* The winner flag doubles as the in-flight stop signal: walkers
+       already running poll it from inside the solver and abandon. *)
     let stop () = Atomic.get found >= 0 in
     let start = Lv_telemetry.Clock.now_ns () in
     let result = Lv_search.Adaptive_search.solve_packed ?params ~stop ~rng packed in
     if Lv_search.Adaptive_search.solved result then
-      (* First writer wins; later finishers leave the flag alone. *)
-      ignore (Atomic.compare_and_set found (-1) w);
+      (* First writer wins; later finishers leave the flag alone.  The
+         cancel token then keeps walkers that have not yet started off
+         the pool entirely. *)
+      if Atomic.compare_and_set found (-1) w then Lv_exec.Cancel.set cancel;
     let iterations = Lv_search.Adaptive_search.iterations result in
     if traced then
       walker_event telemetry ~w ~iterations
@@ -52,23 +58,32 @@ let wall_clock ?params ?(telemetry = Lv_telemetry.Sink.null) ~seed ~walkers
         ~seconds:
           (Lv_telemetry.Clock.seconds_between ~start
              ~stop:(Lv_telemetry.Clock.now_ns ()));
-    iterations
+    Some iterations
   in
   let outcome_cell = ref None in
   let body () =
-    let domains = Array.init walkers (fun w -> Domain.spawn (walker w)) in
-    let iters = Array.map Domain.join domains in
+    let iters =
+      Lv_exec.Pool.parallel_map ~cancel ~skipped:None p walker
+        (Array.init walkers Fun.id)
+    in
     let seconds = Unix.gettimeofday () -. t0 in
     let w = Atomic.get found in
     let o =
       if w >= 0 then
-        { walkers; winner = Some w; seconds; min_iterations = iters.(w); solved = true }
+        let min_iterations =
+          match iters.(w) with Some it -> it | None -> assert false
+          (* the winner ran to completion, so its slot is filled *)
+        in
+        { walkers; winner = Some w; seconds; min_iterations; solved = true }
       else
+        let ran = Array.to_list iters |> List.filter_map Fun.id in
         {
           walkers;
           winner = None;
           seconds;
-          min_iterations = Array.fold_left Int.min iters.(0) iters;
+          (* no winner ⇒ the cancel token was never set ⇒ every walker
+             ran, so [ran] is non-empty *)
+          min_iterations = List.fold_left Int.min (List.hd ran) ran;
           solved = false;
         }
     in
@@ -80,13 +95,13 @@ let wall_clock ?params ?(telemetry = Lv_telemetry.Sink.null) ~seed ~walkers
       match !outcome_cell with Some o -> outcome_fields o | None -> [])
     body
 
-let iteration_metric ?params ?(domains = 1) ?(telemetry = Lv_telemetry.Sink.null)
-    ~seed ~walkers make_instance =
+let iteration_metric ?params ?(domains = 1) ?pool
+    ?(telemetry = Lv_telemetry.Sink.null) ~seed ~walkers make_instance =
   if walkers <= 0 then invalid_arg "Race.iteration_metric: walkers must be positive";
   let t0 = Unix.gettimeofday () in
   let c =
-    Campaign.run ?params ~domains ~telemetry ~label:"race" ~seed ~runs:walkers
-      make_instance
+    Campaign.run ?params ~domains ?pool ~telemetry ~label:"race" ~seed
+      ~runs:walkers make_instance
   in
   let seconds = Unix.gettimeofday () -. t0 in
   let best = ref None in

@@ -4,9 +4,9 @@
 
     Two variants:
 
-    - {!wall_clock}: a true first-finisher-wins race, one domain per walker.
-      Faithful to the cluster setup but only meaningful for
-      [walkers <= physical cores].
+    - {!wall_clock}: a true first-finisher-wins race, walkers multiplexed
+      over an {!Lv_exec.Pool}.  Faithful to the cluster setup but only
+      meaningful for [walkers <= pool workers <= physical cores].
     - {!iteration_metric}: runs every walker to completion (work spread over
       [domains] worker domains) and reports the minimum iteration count.
       This is *exactly* the multi-walk outcome in the paper's preferred
@@ -24,14 +24,17 @@ type outcome = {
 
 val wall_clock :
   ?params:Lv_search.Params.t ->
+  ?pool:Lv_exec.Pool.t ->
   ?telemetry:Lv_telemetry.Sink.t ->
   seed:int ->
   walkers:int ->
   (unit -> Lv_search.Csp.packed) ->
   outcome
-(** Spawn one domain per walker; the first solver to finish flips a shared
-    flag that the others poll and abandon.  [make_instance] is called once
-    per walker.
+(** Race the walkers on [pool] (default: {!Lv_exec.Pool.default}) instead
+    of one domain each.  The first solver to finish flips a shared flag:
+    walkers already running poll it and abandon; walkers not yet started
+    are skipped via the pool's cancellation token and report no
+    iterations.  [make_instance] is called once per walker that runs.
 
     With a live [telemetry] sink each walker emits one ["race.walker"]
     span (walker index, iterations, solved flag, own wall time) and the
@@ -40,14 +43,15 @@ val wall_clock :
 val iteration_metric :
   ?params:Lv_search.Params.t ->
   ?domains:int ->
+  ?pool:Lv_exec.Pool.t ->
   ?telemetry:Lv_telemetry.Sink.t ->
   seed:int ->
   walkers:int ->
   (unit -> Lv_search.Csp.packed) ->
   outcome
 (** Run all [walkers] to completion and take the minimum iteration count
-    ([seconds] is the wall-clock of collecting them all).  [telemetry] is
-    forwarded to the underlying {!Campaign.run}, plus one ["race"] span
-    with the outcome. *)
+    ([seconds] is the wall-clock of collecting them all).  [domains]/[pool]
+    and [telemetry] are forwarded to the underlying {!Campaign.run}, plus
+    one ["race"] span with the outcome. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

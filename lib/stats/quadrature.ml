@@ -33,12 +33,21 @@ let simpson_adaptive ?(rel_tol = 1e-10) ?(abs_tol = 1e-12) ?(max_depth = 48) f ~
 (* ------------------------------------------------------------------ *)
 
 (* Nodes and weights on [-1,1] computed once per order by Newton iteration
-   on Legendre polynomials (standard gauleg construction). *)
+   on Legendre polynomials (standard gauleg construction).  The cache is
+   shared by every domain running quadratures concurrently (pooled fits and
+   per-core-count predictions), so all access is serialized by [gauss_lock];
+   the arrays themselves are published once and only ever read after that.
+   The Newton construction runs under the lock — it is a few microseconds,
+   once per distinct order per process. *)
 let gauss_tables : (int, float array * float array) Hashtbl.t = Hashtbl.create 8
+let gauss_lock = Mutex.create ()
 
 let gauss_nodes order =
+  Mutex.lock gauss_lock;
   match Hashtbl.find_opt gauss_tables order with
-  | Some tbl -> tbl
+  | Some tbl ->
+    Mutex.unlock gauss_lock;
+    tbl
   | None ->
     let n = order in
     let x = Array.make n 0. and w = Array.make n 0. in
@@ -68,6 +77,7 @@ let gauss_nodes order =
       w.(n - 1 - i) <- wi
     done;
     Hashtbl.replace gauss_tables order (x, w);
+    Mutex.unlock gauss_lock;
     (x, w)
 
 let gauss_legendre ?(order = 64) f ~lo ~hi =

@@ -8,7 +8,13 @@
     - adaptive Simpson, robust default on finite intervals;
     - fixed-order Gauss–Legendre, cheap and accurate for smooth integrands;
     - tanh–sinh (double-exponential), excels with endpoint singularities and
-      is the engine behind the semi-infinite transforms. *)
+      is the engine behind the semi-infinite transforms.
+
+    Every function here is safe to call from multiple domains concurrently:
+    the only shared state is the Gauss–Legendre node/weight cache, whose
+    access is mutex-serialized (the tables themselves are immutable once
+    published).  Integrands are called outside any lock and must be
+    re-entrant if shared. *)
 
 val simpson_adaptive :
   ?rel_tol:float -> ?abs_tol:float -> ?max_depth:int ->

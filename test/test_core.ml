@@ -264,6 +264,26 @@ let test_golden_speedup_tables () =
         table)
     golden_speedups
 
+let test_golden_speedups_pool_invariant () =
+  (* The figures behind 9/11/13 must not depend on the executor: the curve
+     computed serially, on a pool of 1 and on a pool of 4 must be equal to
+     the last bit (same quadrature calls, slotted by index). *)
+  List.iter
+    (fun (b, table) ->
+      let law = Paper_data.fitted_law b in
+      let cores = List.map fst table in
+      let serial = Speedup.curve law ~cores in
+      Lv_exec.Pool.with_pool ~domains:1 @@ fun p1 ->
+      Lv_exec.Pool.with_pool ~domains:4 @@ fun p4 ->
+      let name tag =
+        Printf.sprintf "%s %s" (Paper_data.benchmark_name b) tag
+      in
+      Alcotest.(check bool) (name "pool=1 bit-identical") true
+        (serial = Speedup.curve ~pool:p1 law ~cores);
+      Alcotest.(check bool) (name "pool=4 bit-identical") true
+        (serial = Speedup.curve ~pool:p4 law ~cores))
+    golden_speedups
+
 let test_golden_speedups_cover_paper_cores () =
   List.iter
     (fun (_, table) ->
@@ -342,6 +362,41 @@ let test_fit_one_inapplicable () =
   (* Lognormal cannot be estimated on data containing zero. *)
   Alcotest.(check bool) "lognormal on zero data" true
     (Fit.fit_one Fit.Lognormal [| 0.; 1.; 2. |] = None)
+
+let test_fit_sort_nan_p_value_sinks () =
+  (* A degenerate KS input can yield a NaN p-value; under the polymorphic
+     compare previously used for the sort its position was unspecified (it
+     could float to the top of [fits] and be picked as [best]).  The
+     [Float.compare]-based order must sink it below every real p-value. *)
+  let fake p =
+    {
+      Fit.candidate = Fit.Exponential;
+      dist = Exponential.create ~rate:1.;
+      ks =
+        {
+          Kolmogorov.statistic = 0.5;
+          p_value = p;
+          n = 10;
+          accept = false;
+          alpha = 0.05;
+        };
+    }
+  in
+  let sorted =
+    List.sort Fit.compare_by_p_value [ fake Float.nan; fake 0.2; fake 0.9 ]
+  in
+  (match List.map (fun f -> f.Fit.ks.Kolmogorov.p_value) sorted with
+  | [ a; b; c ] ->
+    Alcotest.(check (float 0.)) "best first" 0.9 a;
+    Alcotest.(check (float 0.)) "then the rest" 0.2 b;
+    Alcotest.(check bool) "NaN sinks last" true (Float.is_nan c)
+  | _ -> Alcotest.fail "three fits in, three fits out");
+  (* And the full pipeline never crowns the NaN candidate: order is total,
+     sort is stable, comparator never sees an unspecified case. *)
+  Alcotest.(check int) "NaN vs NaN ties" 0
+    (Fit.compare_by_p_value (fake Float.nan) (fake Float.nan));
+  Alcotest.(check bool) "NaN loses to 0" true
+    (Fit.compare_by_p_value (fake 0.) (fake Float.nan) < 0)
 
 let test_fit_candidate_names_roundtrip () =
   List.iter
@@ -544,6 +599,8 @@ let () =
           Alcotest.test_case "MS 200 predicted row" `Quick test_table5_ms200_predicted;
           Alcotest.test_case "Costas 21 predicted row" `Quick test_table5_costas21_predicted;
           Alcotest.test_case "golden speed-up tables (Figs 9/11/13)" `Quick test_golden_speedup_tables;
+          Alcotest.test_case "golden tables pool-size invariant" `Quick
+            test_golden_speedups_pool_invariant;
           Alcotest.test_case "golden tables cover paper cores" `Quick test_golden_speedups_cover_paper_cores;
           Alcotest.test_case "paper data consistency" `Quick test_paper_data_consistency;
         ] );
@@ -552,6 +609,8 @@ let () =
           Alcotest.test_case "recovers exponential" `Quick test_fit_recovers_exponential;
           Alcotest.test_case "lognormal vs exponential" `Quick test_fit_recovers_lognormal_rejects_exponential;
           Alcotest.test_case "inapplicable candidate" `Quick test_fit_one_inapplicable;
+          Alcotest.test_case "NaN p-value sinks in sort" `Quick
+            test_fit_sort_nan_p_value_sinks;
           Alcotest.test_case "candidate names" `Quick test_fit_candidate_names_roundtrip;
           Alcotest.test_case "shifted variant preferred" `Quick test_fit_prefers_shifted_variant;
           Alcotest.test_case "candidate subsets" `Quick test_fit_subset_of_candidates;

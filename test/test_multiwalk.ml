@@ -172,6 +172,32 @@ let test_campaign_run_fn_generic () =
     (c.Lv_multiwalk.Campaign.iterations.Lv_multiwalk.Dataset.values
     = c2.Lv_multiwalk.Campaign.iterations.Lv_multiwalk.Dataset.values)
 
+exception Runner_failed of int
+
+let test_campaign_worker_exception_propagates () =
+  (* A throwing runner must surface its own exception from [run] — not the
+     old behaviour of leaving domains unjoined and dying on [assert false]
+     over the unclaimed result slots.  The pool's barrier joins every
+     in-flight run first, so the campaign can also be re-run afterwards. *)
+  let calls = Atomic.make 0 in
+  let campaign ~boom () =
+    Lv_multiwalk.Campaign.run_fn ~domains:3 ~label:"boom" ~seed:1 ~runs:24
+      (fun () rng ->
+        let n = Atomic.fetch_and_add calls 1 in
+        if boom && n = 5 then raise (Runner_failed 42);
+        let iterations = 1 + Lv_stats.Rng.int rng 100 in
+        { Lv_multiwalk.Run.seconds = 0.; iterations; solved = true })
+  in
+  (match campaign ~boom:true () with
+  | _ -> Alcotest.fail "runner exception was swallowed"
+  | exception Runner_failed n ->
+    Alcotest.(check int) "the runner's own exception" 42 n);
+  (* No leaked domains / poisoned state: an identical campaign without the
+     failure completes normally. *)
+  let c = campaign ~boom:false () in
+  Alcotest.(check int) "clean re-run" 24
+    (List.length c.Lv_multiwalk.Campaign.observations)
+
 let test_campaign_rejects_bad_args () =
   Alcotest.check_raises "zero runs" (Invalid_argument "Campaign.run: runs must be positive")
     (fun () ->
@@ -353,6 +379,8 @@ let () =
             test_campaign_dataset_identical_across_domains;
           Alcotest.test_case "progress hook" `Quick test_campaign_progress_called;
           Alcotest.test_case "generic runner" `Quick test_campaign_run_fn_generic;
+          Alcotest.test_case "worker exception propagates" `Quick
+            test_campaign_worker_exception_propagates;
           Alcotest.test_case "argument validation" `Quick test_campaign_rejects_bad_args;
         ] );
       ( "sim",

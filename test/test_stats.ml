@@ -248,6 +248,32 @@ let test_gauss_legendre () =
   check_rel ~tol:1e-12 "GL order 8 cubic exact" 0.25
     (Quadrature.gauss_legendre ~order:8 (fun x -> x ** 3.) ~lo:0. ~hi:1.)
 
+let test_gauss_nodes_domain_race () =
+  (* Regression for the node-cache data race: hammer [gauss_nodes] through
+     [gauss_legendre] from 8 domains at once, with overlapping order sets so
+     the domains keep colliding on the same Hashtbl keys — both on cache
+     misses (first touches) and hits.  Before the cache was mutex-guarded
+     this corrupted the table (or crashed); now every domain must read
+     back correct, complete node tables: each integral is checked against
+     its closed form. *)
+  let failures = Atomic.make 0 in
+  let domains =
+    Array.init 8 (fun d ->
+        Domain.spawn (fun () ->
+            for k = 0 to 199 do
+              (* Orders 3..34, phase-shifted per domain so first touch of
+                 each order races with other domains' lookups. *)
+              let order = 3 + ((d + (7 * k)) mod 32) in
+              let v =
+                Quadrature.gauss_legendre ~order (fun x -> x *. x) ~lo:0.
+                  ~hi:3.
+              in
+              if abs_float (v -. 9.) > 1e-9 then Atomic.incr failures
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "no corrupted integrals" 0 (Atomic.get failures)
+
 let test_tanh_sinh () =
   check_rel ~tol:1e-10 "TS x^2 [0,1]" (1. /. 3.)
     (Quadrature.tanh_sinh (fun x -> x *. x) ~lo:0. ~hi:1.);
@@ -1139,6 +1165,8 @@ let () =
         [
           Alcotest.test_case "adaptive simpson" `Quick test_simpson_polynomials;
           Alcotest.test_case "gauss-legendre" `Quick test_gauss_legendre;
+          Alcotest.test_case "gauss node cache under domain contention" `Quick
+            test_gauss_nodes_domain_race;
           Alcotest.test_case "tanh-sinh" `Quick test_tanh_sinh;
           Alcotest.test_case "semi-infinite transform" `Quick test_integrate_to_infinity;
           Alcotest.test_case "decaying panels" `Quick test_integrate_decaying;
