@@ -103,14 +103,17 @@ let campaign_of p =
   in
   let make () = (Option.get (Lv_problems.Registry.find p.name)) p.size in
   printf "  [%s] running %d sequential solves...@." p.label runs;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Lv_telemetry.Clock.now_ns () in
   let c =
     Lv_multiwalk.Campaign.run ~params ~telemetry ~label:p.label ~seed:20130101
       ~runs make
   in
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt =
+    Lv_telemetry.Clock.seconds_between ~start:t0
+      ~stop:(Lv_telemetry.Clock.now_ns ())
+  in
   printf "  [%s] %d sequential runs in %.1fs (%d unsolved)@." p.label runs dt
-    c.Lv_multiwalk.Campaign.n_unsolved;
+    c.Lv_multiwalk.Campaign.n_censored;
   c
 
 (* ------------------------------------------------------------------ *)
@@ -655,12 +658,14 @@ let pool_vs_serial () =
   let reps = 3 in
   let time domains =
     Lv_exec.Pool.with_pool ~domains @@ fun pool ->
-    let t0 = Unix.gettimeofday () in
+    let t0 = Lv_telemetry.Clock.now_ns () in
     let last = ref None in
     for _ = 1 to reps do
       last := Some (Predict.of_dataset ~pool ~cores ds)
     done;
-    (Unix.gettimeofday () -. t0, Option.get !last)
+    ( Lv_telemetry.Clock.seconds_between ~start:t0
+        ~stop:(Lv_telemetry.Clock.now_ns ()),
+      Option.get !last )
   in
   let pooled_domains = Domain.recommended_domain_count () in
   let serial_s, serial_p = time 1 in

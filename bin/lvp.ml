@@ -70,6 +70,45 @@ let out_arg =
     & opt (some string) None
     & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output CSV file.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-run wall-time budget.  A run that exceeds it is recorded as \
+           a censored observation (it keeps its iteration count so far) \
+           instead of hanging the campaign.")
+
+let max_iters_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-iters" ] ~docv:"N"
+        ~doc:
+          "Per-run iteration budget.  A run that exhausts it is recorded as \
+           a censored observation.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE.JSONL"
+        ~doc:
+          "Durable run-log: every completed run is appended and flushed, \
+           and on restart with the same seed/runs the logged runs are \
+           restored instead of re-executed — an interrupted campaign \
+           resumes to a byte-identical dataset.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry a run whose runner raised a transient exception up to $(docv) \
+           times, with exponential backoff, before aborting the campaign.")
+
 let dataset_arg =
   Arg.(
     required
@@ -148,9 +187,12 @@ let solve_cmd =
     let name = Lv_search.Csp.packed_name packed in
     let params = params_of ~walk ~max_iter name size in
     let rng = Lv_stats.Rng.create ~seed in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Lv_telemetry.Clock.now_ns () in
     let result = Lv_search.Adaptive_search.solve_packed ~params ~rng packed in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt =
+      Lv_telemetry.Clock.seconds_between ~start:t0
+        ~stop:(Lv_telemetry.Clock.now_ns ())
+    in
     Format.printf "%s %d: %s in %.3fs, %a@."
       name size
       (if Lv_search.Adaptive_search.solved result then "solved" else "exhausted")
@@ -164,27 +206,54 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Run Adaptive Search once on a benchmark instance.") term
 
 let campaign_cmd =
-  let run make size seed walk max_iter runs out pool_domains trace quiet verbose =
+  let run make size seed walk max_iter runs out timeout max_iters checkpoint
+      retries pool_domains trace quiet verbose =
     let packed0 = make size in
     let name = Lv_search.Csp.packed_name packed0 in
     let params = params_of ~walk ~max_iter name size in
     let label = Printf.sprintf "%s-%d" name size in
+    let budget =
+      Lv_multiwalk.Run.budget ?max_seconds:timeout ?max_iterations:max_iters ()
+    in
+    let retry =
+      if retries < 0 then invalid_arg "lvp campaign: --retries must be >= 0"
+      else if retries = 0 then Lv_multiwalk.Retry.none
+      else Lv_multiwalk.Retry.policy ~max_attempts:(retries + 1) ()
+    in
     with_sink ~trace ~verbose @@ fun telemetry ->
     with_pool ~telemetry pool_domains @@ fun pool ->
     let progress k =
       if (not quiet) && k mod 25 = 0 then
         Printf.eprintf "  %d/%d runs\r%!" k runs
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Lv_telemetry.Clock.now_ns () in
     let c =
-      Lv_multiwalk.Campaign.run ~params ~pool ~telemetry ~label ~seed ~runs
-        ~progress (fun () -> make size)
+      Lv_multiwalk.Campaign.run ~params ~budget ~pool ~telemetry ?checkpoint
+        ~retry ~label ~seed ~runs ~progress (fun () -> make size)
     in
-    let wall = Unix.gettimeofday () -. t0 in
+    let wall =
+      Lv_telemetry.Clock.seconds_between ~start:t0
+        ~stop:(Lv_telemetry.Clock.now_ns ())
+    in
     if not quiet then Printf.eprintf "\n%!";
     let s = Lv_multiwalk.Dataset.summary c.Lv_multiwalk.Campaign.iterations in
-    Format.printf "%s: %d runs (%d unsolved) in %.3fs, iterations: %a@." label
-      runs c.Lv_multiwalk.Campaign.n_unsolved wall Lv_stats.Summary.pp s;
+    Format.printf "%s: %d runs (%d censored) in %.3fs, iterations: %a@." label
+      runs c.Lv_multiwalk.Campaign.n_censored wall Lv_stats.Summary.pp s;
+    if c.Lv_multiwalk.Campaign.n_restored > 0 then
+      Format.printf "restored %d completed runs from checkpoint@."
+        c.Lv_multiwalk.Campaign.n_restored;
+    if c.Lv_multiwalk.Campaign.n_retried > 0 then
+      Format.printf "%d runs needed retries (transient runner faults)@."
+        c.Lv_multiwalk.Campaign.n_retried;
+    let censored_fraction =
+      Lv_multiwalk.Dataset.censored_fraction c.Lv_multiwalk.Campaign.iterations
+    in
+    if censored_fraction > Lv_core.Fit.censoring_warn_threshold then
+      Format.eprintf
+        "warning: %.0f%% of runs were censored at their budget — fits on \
+         this dataset will truncate the upper tail; raise --timeout / \
+         --max-iters@."
+        (100. *. censored_fraction);
     (match out with
     | Some path ->
       Lv_multiwalk.Dataset.save_csv c.Lv_multiwalk.Campaign.iterations path;
@@ -198,11 +267,15 @@ let campaign_cmd =
   let term =
     Term.(
       const run $ problem_arg $ size_arg $ seed_arg $ walk_arg $ max_iter_arg
-      $ runs_arg $ out_arg $ pool_domains_arg $ trace_arg $ quiet_arg
-      $ verbose_arg)
+      $ runs_arg $ out_arg $ timeout_arg $ max_iters_arg $ checkpoint_arg
+      $ retries_arg $ pool_domains_arg $ trace_arg $ quiet_arg $ verbose_arg)
   in
   Cmd.v
-    (Cmd.info "campaign" ~doc:"Collect sequential runtimes over many independent runs.")
+    (Cmd.info "campaign"
+       ~doc:
+         "Collect sequential runtimes over many independent runs, with \
+          per-run budgets, crash-safe checkpoint/resume and \
+          retry-with-backoff.")
     term
 
 let fit_cmd =
@@ -211,7 +284,9 @@ let fit_cmd =
     with_sink ~trace ~verbose @@ fun telemetry ->
     with_pool ~telemetry pool_domains @@ fun pool ->
     let report =
-      Lv_core.Fit.fit ~alpha ~pool ~telemetry ds.Lv_multiwalk.Dataset.values
+      Lv_core.Fit.fit ~alpha ~pool ~telemetry
+        ~n_censored:(Lv_multiwalk.Dataset.n_censored ds)
+        ds.Lv_multiwalk.Dataset.values
     in
     if not quiet then Format.printf "%a@." Lv_core.Fit.pp_report report;
     0

@@ -41,12 +41,15 @@ let () =
      the CSP solver: hand it one-run-from-one-generator. *)
   let campaign =
     Lv_multiwalk.Campaign.run_fn ~label:"walksat" ~seed:1000 ~runs (fun () rng ->
-        let t0 = Unix.gettimeofday () in
+        (* Monotonic: gettimeofday steps under NTP and can even go negative. *)
+        let t0 = Lv_telemetry.Clock.now_ns () in
         let r = Lv_algos.Walksat.solve ~rng cnf in
         assert (r.Lv_algos.Walksat.solved
                 && Lv_algos.Cnf.satisfies cnf r.Lv_algos.Walksat.assignment);
         {
-          Lv_multiwalk.Run.seconds = Unix.gettimeofday () -. t0;
+          Lv_multiwalk.Run.seconds =
+            Lv_telemetry.Clock.seconds_between ~start:t0
+              ~stop:(Lv_telemetry.Clock.now_ns ());
           iterations = r.Lv_algos.Walksat.flips;
           solved = r.Lv_algos.Walksat.solved;
         })

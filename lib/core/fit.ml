@@ -60,10 +60,28 @@ type fitted = {
 
 type report = {
   sample_size : int;
+  n_censored : int;
+  censored_fraction : float;
   fits : fitted list;
   accepted : fitted list;
   best : fitted option;
 }
+
+let censoring_warn_threshold = 0.05
+
+let censoring_warning r =
+  if r.censored_fraction > censoring_warn_threshold then
+    Some
+      (Printf.sprintf
+         "%.0f%% of the runs (%d of %d) were censored at their budget; the \
+          fit sees only the solved runs, so it systematically truncates the \
+          upper tail — raise the budget, or use a censoring-aware estimator \
+          (e.g. Mle.exponential_censored), before trusting the predicted \
+          speed-ups"
+         (100. *. r.censored_fraction)
+         r.n_censored
+         (r.sample_size + r.n_censored))
+  else None
 
 let estimator = function
   | Exponential -> Mle.exponential
@@ -131,13 +149,15 @@ let compare_by_p_value a b =
   Float.compare b.ks.Kolmogorov.p_value a.ks.Kolmogorov.p_value
 
 let fit ?alpha ?pool ?(telemetry = Lv_telemetry.Sink.null)
-    ?(candidates = all_candidates) xs =
+    ?(candidates = all_candidates) ?(n_censored = 0) xs =
   if Array.length xs = 0 then invalid_arg "Fit.fit: empty sample";
+  if n_censored < 0 then invalid_arg "Fit.fit: n_censored must be nonnegative";
   let accepted_cell = ref 0 in
   Lv_telemetry.Span.run telemetry ~name:"fit"
     ~fields:(fun () ->
       [
         ("sample_size", Lv_telemetry.Json.Int (Array.length xs));
+        ("censored", Lv_telemetry.Json.Int n_censored);
         ("candidates", Lv_telemetry.Json.Int (List.length candidates));
         ("accepted", Lv_telemetry.Json.Int !accepted_cell);
       ])
@@ -189,7 +209,12 @@ let fit ?alpha ?pool ?(telemetry = Lv_telemetry.Sink.null)
       | Lognormal -> Some (upgrade Lognormal Shifted_lognormal)
       | _ -> Some top)
   in
-  { sample_size = Array.length xs; fits; accepted; best }
+  let sample_size = Array.length xs in
+  let censored_fraction =
+    let total = sample_size + n_censored in
+    if total = 0 then 0. else float_of_int n_censored /. float_of_int total
+  in
+  { sample_size; n_censored; censored_fraction; fits; accepted; best }
 
 let pp_fitted ppf f =
   Format.fprintf ppf "%-36s %a"
@@ -204,4 +229,7 @@ let pp_report ppf r =
     Format.fprintf ppf "best: %s (p=%.4f)" (candidate_name f.candidate)
       f.ks.Kolmogorov.p_value
   | None -> Format.fprintf ppf "best: none accepted");
+  (match censoring_warning r with
+  | Some w -> Format.fprintf ppf "@,warning: %s" w
+  | None -> ());
   Format.fprintf ppf "@]"

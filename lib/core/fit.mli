@@ -42,7 +42,12 @@ type fitted = {
 }
 
 type report = {
-  sample_size : int;
+  sample_size : int;       (** solved observations the fit actually saw *)
+  n_censored : int;        (** budget-censored runs excluded from the fit *)
+  censored_fraction : float;
+      (** [n_censored / (sample_size + n_censored)] — above
+          {!censoring_warn_threshold} the fitted law is materially
+          truncated and {!censoring_warning} fires *)
   fits : fitted list;      (** every candidate that could be estimated,
                                sorted by decreasing p-value *)
   accepted : fitted list;  (** the subset passing the KS test *)
@@ -72,21 +77,34 @@ val compare_by_p_value : fitted -> fitted -> int
     p-value (degenerate KS input) always sorts last, never first.  This is
     the order of {!report.fits}. *)
 
+val censoring_warn_threshold : float
+(** Censored fraction above which a fit is flagged as truncated (0.05). *)
+
+val censoring_warning : report -> string option
+(** A human-readable warning when [censored_fraction] exceeds
+    {!censoring_warn_threshold}: the fit ignored the censored runs, so it
+    understates the upper tail and the speed-up predictions built on it
+    are optimistic.  [None] below the threshold.  {!pp_report} prints it. *)
+
 val fit :
   ?alpha:float ->
   ?pool:Lv_exec.Pool.t ->
   ?telemetry:Lv_telemetry.Sink.t ->
   ?candidates:candidate list ->
+  ?n_censored:int ->
   float array ->
   report
 (** Run the whole pool (default {!all_candidates}) at significance [alpha]
     (default 0.05).  Candidates are fitted in parallel on [pool] (default
     {!Lv_exec.Pool.default}); the report is deterministic regardless of
     pool size.  Candidates that estimate the {e same} law (e.g. a shifted
-    family whose best shift degenerates to 0) appear once in [fits].  The
-    whole run is wrapped in a ["fit"] telemetry span (sample size, pool
-    size, number accepted); the per-candidate spans are emitted under the
-    fixed path ["fit/fit.candidate"] whatever worker they ran on. *)
+    family whose best shift degenerates to 0) appear once in [fits].
+    [n_censored] (default 0) declares how many budget-censored runs the
+    sample excludes; it feeds the report's censoring fields and warning
+    rather than the estimators themselves.  The whole run is wrapped in a
+    ["fit"] telemetry span (sample size, censored count, pool size, number
+    accepted); the per-candidate spans are emitted under the fixed path
+    ["fit/fit.candidate"] whatever worker they ran on. *)
 
 val pp_fitted : Format.formatter -> fitted -> unit
 val pp_report : Format.formatter -> report -> unit

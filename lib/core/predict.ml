@@ -55,7 +55,9 @@ let of_fit ?pool ?(telemetry = Lv_telemetry.Sink.null) ~label ~cores
 let of_dataset ?alpha ?candidates ?pool ?(telemetry = Lv_telemetry.Sink.null)
     ~cores (ds : Lv_multiwalk.Dataset.t) =
   let report =
-    Fit.fit ?alpha ?pool ~telemetry ?candidates ds.Lv_multiwalk.Dataset.values
+    Fit.fit ?alpha ?pool ~telemetry ?candidates
+      ~n_censored:(Lv_multiwalk.Dataset.n_censored ds)
+      ds.Lv_multiwalk.Dataset.values
   in
   let chosen =
     match (report.Fit.best, report.Fit.fits) with
@@ -68,7 +70,16 @@ let of_dataset ?alpha ?candidates ?pool ?(telemetry = Lv_telemetry.Sink.null)
 
 let of_distribution ?pool ?(telemetry = Lv_telemetry.Sink.null) ~label ~cores
     law =
-  let empty_report = { Fit.sample_size = 0; fits = []; accepted = []; best = None } in
+  let empty_report =
+    {
+      Fit.sample_size = 0;
+      n_censored = 0;
+      censored_fraction = 0.;
+      fits = [];
+      accepted = [];
+      best = None;
+    }
+  in
   of_fit ?pool ~telemetry ~label ~cores empty_report law
 
 type comparison_row = {

@@ -2,8 +2,15 @@ type point = { runtime : float; probability : float }
 
 let sorted_copy xs =
   if Array.length xs = 0 then invalid_arg "Ttt: empty sample";
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) then
+        invalid_arg "Ttt: sample contains a non-finite value")
+    xs;
   let s = Array.copy xs in
-  Array.sort compare s;
+  (* Float.compare: the polymorphic compare ranks NaN unpredictably, which
+     would scramble the cumulative-probability axis. *)
+  Array.sort Float.compare s;
   s
 
 let points xs =

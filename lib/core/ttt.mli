@@ -7,7 +7,10 @@
 type point = { runtime : float; probability : float }
 
 val points : float array -> point list
-(** Sorted runtimes with plotting positions [p_i = (i - 0.5) / n]. *)
+(** Sorted runtimes with plotting positions [p_i = (i - 0.5) / n].  Like
+    every entry point of this module, raises [Invalid_argument] on an
+    empty sample or one containing a non-finite value (NaN would sort at
+    an unspecified rank and scramble the probability axis). *)
 
 val qq : float array -> Lv_stats.Distribution.t -> (float * float) list
 (** Q–Q pairs: (theoretical quantile at [p_i], observed [t_(i)]). *)

@@ -1,5 +1,28 @@
-type t = bool Atomic.t
+type t = { latch : bool Atomic.t; deadline_ns : int64 option }
 
-let create () = Atomic.make false
-let set t = Atomic.set t true
-let is_set t = Atomic.get t
+let create () = { latch = Atomic.make false; deadline_ns = None }
+
+let with_deadline ~seconds =
+  if not (Float.is_finite seconds) || seconds < 0. then
+    invalid_arg "Lv_exec.Cancel.with_deadline: seconds must be finite and nonnegative";
+  {
+    latch = Atomic.make false;
+    deadline_ns =
+      Some
+        (Int64.add
+           (Lv_telemetry.Clock.now_ns ())
+           (Int64.of_float (seconds *. 1e9)));
+  }
+
+let set t = Atomic.set t.latch true
+
+let is_set t =
+  Atomic.get t.latch
+  ||
+  match t.deadline_ns with
+  | Some d when Int64.compare (Lv_telemetry.Clock.now_ns ()) d >= 0 ->
+    (* Latch so the token stays set even if the clock were to misbehave,
+       and so later polls skip the clock read. *)
+    Atomic.set t.latch true;
+    true
+  | _ -> false

@@ -4,12 +4,26 @@
     skip tasks that have not started yet (see {!Pool.parallel_map}); running
     tasks observe it through their own polling — exactly the shape of a
     multi-walk race stop-flag, where the winning walker flips the token and
-    the losers abandon their search at the next iteration boundary. *)
+    the losers abandon their search at the next iteration boundary.
+
+    A token may also carry a {e deadline}: {!with_deadline} returns a token
+    that reads as set once the monotonic clock passes the given duration.
+    This is how per-run wall-time budgets are enforced — the solver polls
+    the token at iteration boundaries and gives up cooperatively, producing
+    a censored observation instead of a hung worker. *)
 
 type t
 
 val create : unit -> t
+
+val with_deadline : seconds:float -> t
+(** A token that becomes (and stays) set [seconds] from now on the
+    monotonic clock ({!Lv_telemetry.Clock}), immune to NTP steps.  It can
+    still be {!set} early.  Raises [Invalid_argument] when [seconds] is
+    negative or not finite; [~seconds:0.] is already set. *)
+
 val set : t -> unit
 (** Idempotent; safe from any domain. *)
 
 val is_set : t -> bool
+(** True once {!set} was called or the deadline (if any) has passed. *)

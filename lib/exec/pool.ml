@@ -37,18 +37,22 @@ let size t = t.size
 (* ------------------------------------------------------------------ *)
 
 let exec pool w task =
+  let worker = pool.workers.(w) in
+  (* Count before running: barriers are released from *inside* the thunk
+     ([finish_one] in [parallel_map]/[submit]), so accounting done after
+     the call races with a caller reading [stats] right after its barrier
+     — the final task could still be uncounted. *)
+  worker.executed <- worker.executed + 1;
+  Atomic.incr pool.tasks_executed;
   let start = Lv_telemetry.Clock.now_ns () in
   (* Queued thunks catch their own user exceptions (see [parallel_map] /
      [submit]); a raise here would be a pool bug, and letting it kill the
      worker would hang every subsequent barrier, so it is contained. *)
   (try task () with _ -> ());
-  let worker = pool.workers.(w) in
   worker.busy_s <-
     worker.busy_s
     +. Lv_telemetry.Clock.seconds_between ~start
-         ~stop:(Lv_telemetry.Clock.now_ns ());
-  worker.executed <- worker.executed + 1;
-  Atomic.incr pool.tasks_executed
+         ~stop:(Lv_telemetry.Clock.now_ns ())
 
 let find_task pool w =
   match Deque.pop pool.workers.(w).deque with

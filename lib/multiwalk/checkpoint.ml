@@ -1,0 +1,99 @@
+type entry = {
+  run : int;
+  seed : int;
+  iterations : int;
+  seconds : float;
+  solved : bool;
+}
+
+let entry_of_observation ~run ~seed (o : Run.observation) =
+  {
+    run;
+    seed;
+    iterations = o.Run.iterations;
+    seconds = o.Run.seconds;
+    solved = o.Run.solved;
+  }
+
+let observation_of_entry e =
+  { Run.seconds = e.seconds; iterations = e.iterations; solved = e.solved }
+
+let to_json e =
+  Lv_telemetry.Json.Obj
+    [
+      ("run", Lv_telemetry.Json.Int e.run);
+      ("seed", Lv_telemetry.Json.Int e.seed);
+      ("iterations", Lv_telemetry.Json.Int e.iterations);
+      ("seconds", Lv_telemetry.Json.Float e.seconds);
+      ("solved", Lv_telemetry.Json.Bool e.solved);
+    ]
+
+let of_json j =
+  let open Lv_telemetry in
+  let get name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> v
+    | None -> raise (Json.Parse_error (Printf.sprintf "checkpoint entry: bad or missing field %S" name))
+  in
+  {
+    run = get "run" Json.to_int;
+    seed = get "seed" Json.to_int;
+    iterations = get "iterations" Json.to_int;
+    seconds = get "seconds" Json.to_float;
+    solved = get "solved" Json.to_bool;
+  }
+
+let of_line line = of_json (Lv_telemetry.Json.of_string line)
+
+let load path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let lines = ref [] in
+        let lineno = ref 0 in
+        (try
+           while true do
+             let l = input_line ic in
+             incr lineno;
+             if String.length (String.trim l) > 0 then lines := (!lineno, l) :: !lines
+           done
+         with End_of_file -> ());
+        let lines = Array.of_list (List.rev !lines) in
+        let n = Array.length lines in
+        let entries = ref [] in
+        Array.iteri
+          (fun i (lineno, line) ->
+            match of_line line with
+            | e -> entries := e :: !entries
+            | exception Lv_telemetry.Json.Parse_error msg ->
+              (* A torn *final* line is the expected artifact of a crash
+                 mid-append and is dropped; a bad line with entries after
+                 it means the file is corrupt and must not be trusted. *)
+              if i < n - 1 then
+                failwith
+                  (Printf.sprintf "Checkpoint.load: %s:%d: %s" path lineno msg))
+          lines;
+        List.rev !entries)
+
+type writer = { oc : out_channel; wlock : Mutex.t }
+
+let with_writer path f =
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+  let w = { oc; wlock = Mutex.create () } in
+  Fun.protect ~finally:(fun () -> close_out w.oc) (fun () -> f w)
+
+let append w e =
+  let line = Lv_telemetry.Json.to_string (to_json e) in
+  Mutex.lock w.wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.wlock)
+    (fun () ->
+      output_string w.oc line;
+      output_char w.oc '\n';
+      (* Flush per entry: the OS keeps flushed data if the process is
+         killed, which is the crash model here (power loss would need
+         fsync — deliberately not paid per run). *)
+      flush w.oc)

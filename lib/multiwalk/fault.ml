@@ -1,0 +1,43 @@
+exception Injected of int
+
+let parse_rate s =
+  match float_of_string_opt s with
+  | Some r when r >= 0. && r <= 1. -> r
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "LVP_FAULT_RATE: expected a probability in [0,1], got %S" s)
+
+let rate =
+  lazy
+    (match Sys.getenv_opt "LVP_FAULT_RATE" with
+    | None | Some "" -> 0.
+    | Some s -> parse_rate s)
+
+let seed =
+  lazy
+    (match Sys.getenv_opt "LVP_FAULT_SEED" with
+    | None | Some "" -> 0x5eed
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some i -> i
+      | None -> invalid_arg (Printf.sprintf "LVP_FAULT_SEED: expected an integer, got %S" s)))
+
+(* One process-wide stream of fault decisions, mutex-shared across worker
+   domains: each run *attempt* draws independently, so a faulted run can
+   succeed on retry — the transient-fault model the retry policy targets. *)
+let lock = Mutex.create ()
+let rng = lazy (Lv_stats.Rng.create ~seed:(Lazy.force seed))
+let injected = Atomic.make 0
+
+let enabled () = Lazy.force rate > 0.
+
+let maybe_inject () =
+  let r = Lazy.force rate in
+  if r > 0. then begin
+    Mutex.lock lock;
+    let u = Lv_stats.Rng.uniform (Lazy.force rng) in
+    Mutex.unlock lock;
+    if u < r then raise (Injected (Atomic.fetch_and_add injected 1))
+  end
+
+let injected_count () = Atomic.get injected

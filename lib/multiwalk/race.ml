@@ -37,7 +37,8 @@ let wall_clock ?params ?pool ?(telemetry = Lv_telemetry.Sink.null) ~seed
   let traced = not (Lv_telemetry.Sink.is_null telemetry) in
   let found = Atomic.make (-1) in
   let cancel = Lv_exec.Cancel.create () in
-  let t0 = Unix.gettimeofday () in
+  (* Monotonic: gettimeofday can step under NTP and skew race durations. *)
+  let t0 = Lv_telemetry.Clock.now_ns () in
   let walker w =
     let packed = make_instance () in
     let rng = Lv_stats.Rng.create ~seed:(seed + w) in
@@ -66,7 +67,10 @@ let wall_clock ?params ?pool ?(telemetry = Lv_telemetry.Sink.null) ~seed
       Lv_exec.Pool.parallel_map ~cancel ~skipped:None p walker
         (Array.init walkers Fun.id)
     in
-    let seconds = Unix.gettimeofday () -. t0 in
+    let seconds =
+      Lv_telemetry.Clock.seconds_between ~start:t0
+        ~stop:(Lv_telemetry.Clock.now_ns ())
+    in
     let w = Atomic.get found in
     let o =
       if w >= 0 then
@@ -98,12 +102,15 @@ let wall_clock ?params ?pool ?(telemetry = Lv_telemetry.Sink.null) ~seed
 let iteration_metric ?params ?(domains = 1) ?pool
     ?(telemetry = Lv_telemetry.Sink.null) ~seed ~walkers make_instance =
   if walkers <= 0 then invalid_arg "Race.iteration_metric: walkers must be positive";
-  let t0 = Unix.gettimeofday () in
+  let t0 = Lv_telemetry.Clock.now_ns () in
   let c =
     Campaign.run ?params ~domains ?pool ~telemetry ~label:"race" ~seed
       ~runs:walkers make_instance
   in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds =
+    Lv_telemetry.Clock.seconds_between ~start:t0
+      ~stop:(Lv_telemetry.Clock.now_ns ())
+  in
   let best = ref None in
   List.iteri
     (fun w o ->

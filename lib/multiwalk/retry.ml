@@ -1,0 +1,44 @@
+type policy = {
+  max_attempts : int;
+  base_delay_s : float;
+  multiplier : float;
+  max_delay_s : float;
+}
+
+let none = { max_attempts = 1; base_delay_s = 0.; multiplier = 2.; max_delay_s = 0. }
+
+let default =
+  { max_attempts = 3; base_delay_s = 0.01; multiplier = 2.; max_delay_s = 1. }
+
+let policy ?(base_delay_s = default.base_delay_s)
+    ?(multiplier = default.multiplier) ?(max_delay_s = default.max_delay_s)
+    ~max_attempts () =
+  if max_attempts <= 0 then
+    invalid_arg "Retry.policy: max_attempts must be positive";
+  if base_delay_s < 0. || not (Float.is_finite base_delay_s) then
+    invalid_arg "Retry.policy: base_delay_s must be finite and nonnegative";
+  if multiplier < 1. || not (Float.is_finite multiplier) then
+    invalid_arg "Retry.policy: multiplier must be >= 1";
+  if max_delay_s < 0. then invalid_arg "Retry.policy: max_delay_s must be nonnegative";
+  { max_attempts; base_delay_s; multiplier; max_delay_s }
+
+let delay_for p ~attempt =
+  if attempt <= 0 then invalid_arg "Retry.delay_for: attempt must be positive";
+  Float.min p.max_delay_s
+    (p.base_delay_s *. (p.multiplier ** float_of_int (attempt - 1)))
+
+let with_retries ?(on_retry = fun ~attempt:_ _ -> ()) p f =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception ((Out_of_memory | Stack_overflow | Sys.Break) as fatal) ->
+      (* Resource exhaustion and user interrupts are not transient faults:
+         retrying would mask them (or fight the user). *)
+      raise fatal
+    | exception exn when attempt < p.max_attempts ->
+      on_retry ~attempt exn;
+      let d = delay_for p ~attempt in
+      if d > 0. then Unix.sleepf d;
+      go (attempt + 1)
+  in
+  go 1

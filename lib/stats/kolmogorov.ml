@@ -1,13 +1,24 @@
 let statistic sample cdf =
   if Array.length sample = 0 then invalid_arg "Kolmogorov.statistic: empty sample";
+  Array.iter
+    (fun x ->
+      if Float.is_nan x then
+        invalid_arg "Kolmogorov.statistic: sample contains NaN")
+    sample;
   let xs = Array.copy sample in
-  Array.sort compare xs;
+  (* Float.compare, not the polymorphic compare: the polymorphic one puts
+     NaN at an unspecified rank, silently mis-sorting the ECDF. *)
+  Array.sort Float.compare xs;
   let n = Array.length xs in
   let fn = float_of_int n in
   let d = ref 0. in
   for i = 0 to n - 1 do
     let f = cdf xs.(i) in
-    (* ECDF jumps from i/n to (i+1)/n at xs.(i): check both sides. *)
+    if Float.is_nan f then
+      invalid_arg "Kolmogorov.statistic: candidate CDF returned NaN";
+    (* ECDF jumps from i/n to (i+1)/n at xs.(i): check both sides.  A NaN
+       on either side would fail both [>] tests and leave [d] unchanged —
+       hence the explicit rejection above. *)
     let above = (float_of_int (i + 1) /. fn) -. f in
     let below = f -. (float_of_int i /. fn) in
     if above > !d then d := above;

@@ -4,7 +4,10 @@
 
 val statistic : float array -> (float -> float) -> float
 (** [statistic sample cdf] is [D_n = sup_x |F_n(x) - F(x)|], evaluated at the
-    jump points of the ECDF (where the supremum is attained). *)
+    jump points of the ECDF (where the supremum is attained).  Raises
+    [Invalid_argument] on an empty sample, a sample containing NaN, or a
+    [cdf] that returns NaN at a jump point — a silent NaN would otherwise
+    leave the supremum at 0 and make any fit look perfect. *)
 
 val kolmogorov_cdf : float -> float
 (** CDF of the Kolmogorov distribution,

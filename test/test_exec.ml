@@ -178,6 +178,37 @@ let test_cancel_stops_in_flight_walkers () =
   Alcotest.(check bool) "token observable after the call" true
     (Cancel.is_set cancel)
 
+let test_cancel_deadline () =
+  Alcotest.(check bool) "zero deadline already set" true
+    (Cancel.is_set (Cancel.with_deadline ~seconds:0.));
+  let far = Cancel.with_deadline ~seconds:3600. in
+  Alcotest.(check bool) "distant deadline unset" false (Cancel.is_set far);
+  Cancel.set far;
+  Alcotest.(check bool) "can still be set early" true (Cancel.is_set far);
+  (* A short deadline fires on the monotonic clock; poll with a bounded
+     spin so a broken deadline fails the test instead of hanging it. *)
+  let t = Cancel.with_deadline ~seconds:0.005 in
+  let start = Lv_telemetry.Clock.now_ns () in
+  let rec spin () =
+    if Cancel.is_set t then ()
+    else if
+      Lv_telemetry.Clock.seconds_between ~start
+        ~stop:(Lv_telemetry.Clock.now_ns ())
+      > 2.
+    then Alcotest.fail "deadline never fired"
+    else spin ()
+  in
+  spin ();
+  Alcotest.(check bool) "stays set (latch)" true (Cancel.is_set t);
+  let rejects seconds =
+    match Cancel.with_deadline ~seconds with
+    | exception Invalid_argument _ -> ()
+    | (_ : Cancel.t) -> Alcotest.failf "deadline %g accepted" seconds
+  in
+  rejects (-1.);
+  rejects Float.nan;
+  rejects Float.infinity
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry / stats accounting                                        *)
 (* ------------------------------------------------------------------ *)
@@ -278,6 +309,7 @@ let () =
             test_cancel_preset_skips_everything;
           Alcotest.test_case "token stops in-flight work" `Quick
             test_cancel_stops_in_flight_walkers;
+          Alcotest.test_case "deadline token" `Quick test_cancel_deadline;
         ] );
       ( "telemetry",
         [

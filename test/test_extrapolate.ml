@@ -198,6 +198,19 @@ let test_ttt_points () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "empty accepted"
 
+let test_ttt_rejects_non_finite () =
+  (* Regression: under the polymorphic compare a NaN landed at an
+     unspecified rank and scrambled the cumulative-probability axis instead
+     of being reported. *)
+  let reject name xs =
+    match Ttt.points xs with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s sample accepted" name
+  in
+  reject "NaN" [| 1.; Float.nan; 3. |];
+  reject "+inf" [| Float.infinity |];
+  reject "-inf" [| 1.; Float.neg_infinity |]
+
 let test_ttt_qq_straight_for_true_law () =
   let law = Lv_stats.Exponential.create ~rate:0.01 in
   let rng = Lv_stats.Rng.create ~seed:21 in
@@ -248,6 +261,7 @@ let () =
       ( "ttt",
         [
           Alcotest.test_case "points" `Quick test_ttt_points;
+          Alcotest.test_case "non-finite rejected" `Quick test_ttt_rejects_non_finite;
           Alcotest.test_case "Q-Q straight for true law" `Quick test_ttt_qq_straight_for_true_law;
           Alcotest.test_case "Q-Q bent for wrong law" `Quick test_ttt_qq_bent_for_wrong_law;
           Alcotest.test_case "render" `Quick test_ttt_render;

@@ -61,6 +61,54 @@ let test_dataset_of_observations_filters () =
   let ds = Lv_multiwalk.Dataset.of_observations ~label:"f" ~metric:`Seconds obs in
   Alcotest.(check (float 1e-12)) "seconds metric" 3. ds.Lv_multiwalk.Dataset.values.(1)
 
+let test_dataset_censored_csv_roundtrip () =
+  let ds =
+    Lv_multiwalk.Dataset.create ~censored:[| 50.; 60.25 |] ~label:"cap"
+      ~metric:"iterations" [| 1.; 2.; 3. |]
+  in
+  Alcotest.(check int) "censored count" 2 (Lv_multiwalk.Dataset.n_censored ds);
+  Alcotest.(check (float 1e-12)) "censored fraction" 0.4
+    (Lv_multiwalk.Dataset.censored_fraction ds);
+  let path = tmp_file ".csv" in
+  Lv_multiwalk.Dataset.save_csv ds path;
+  let back = Lv_multiwalk.Dataset.load_csv path in
+  Sys.remove path;
+  Alcotest.(check string) "label" "cap" back.Lv_multiwalk.Dataset.label;
+  Alcotest.(check bool) "solved values round-trip" true
+    (back.Lv_multiwalk.Dataset.values = ds.Lv_multiwalk.Dataset.values);
+  Alcotest.(check bool) "censored values round-trip" true
+    (back.Lv_multiwalk.Dataset.censored = ds.Lv_multiwalk.Dataset.censored)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_dataset_load_rejects_bad_rows () =
+  (* Regression: malformed rows used to vanish silently, and nan/inf flowed
+     straight into [Empirical.of_array]'s crash.  Now every bad row names
+     its file and line. *)
+  let expect_failure ~substr content =
+    let path = tmp_file ".csv" in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    (match Lv_multiwalk.Dataset.load_csv path with
+    | _ -> Alcotest.failf "loaded malformed csv %S" content
+    | exception Failure msg ->
+      if not (contains msg substr) then
+        Alcotest.failf "error %S does not mention %S" msg substr);
+    Sys.remove path
+  in
+  expect_failure ~substr:":3:" "value\n1.0\nbogus\n";
+  expect_failure ~substr:"NaN" "1.0\nnan\n";
+  expect_failure ~substr:"infinite" "inf\n";
+  expect_failure ~substr:"unknown status" "0,1.0,weird\n";
+  (* Only one header row is skipped, and only before the first data row. *)
+  expect_failure ~substr:":2:" "1.0\nstray-header\n";
+  expect_failure ~substr:":2:" "header-one\nheader-two\n1.0\n";
+  expect_failure ~substr:"fields" "1,2,3,4\n"
+
 let test_dataset_synthetic () =
   let rng = Lv_stats.Rng.create ~seed:5 in
   let d = Lv_stats.Exponential.create ~rate:0.001 in
@@ -80,7 +128,7 @@ let queens_campaign ?(runs = 30) ?(domains = 1) () =
 let test_campaign_basic () =
   let c = queens_campaign () in
   Alcotest.(check int) "all runs present" 30 (List.length c.Lv_multiwalk.Campaign.observations);
-  Alcotest.(check int) "all solved" 0 c.Lv_multiwalk.Campaign.n_unsolved;
+  Alcotest.(check int) "all solved" 0 c.Lv_multiwalk.Campaign.n_censored;
   Alcotest.(check int) "dataset size" 30
     (Lv_multiwalk.Dataset.size c.Lv_multiwalk.Campaign.iterations)
 
@@ -117,7 +165,7 @@ let test_campaign_dataset_identical_across_domains () =
     (c1.Lv_multiwalk.Campaign.iterations.Lv_multiwalk.Dataset.values
     = c4.Lv_multiwalk.Campaign.iterations.Lv_multiwalk.Dataset.values);
   Alcotest.(check bool) "identical unsolved counts" true
-    (c1.Lv_multiwalk.Campaign.n_unsolved = c4.Lv_multiwalk.Campaign.n_unsolved);
+    (c1.Lv_multiwalk.Campaign.n_censored = c4.Lv_multiwalk.Campaign.n_censored);
   let traced =
     List.filter
       (fun ev -> ev.Lv_telemetry.Event.path = "campaign.run")
@@ -161,7 +209,7 @@ let test_campaign_run_fn_generic () =
         { Lv_multiwalk.Run.seconds = 0.; iterations; solved = true })
   in
   Alcotest.(check int) "runs" 50 (Lv_multiwalk.Dataset.size c.Lv_multiwalk.Campaign.iterations);
-  Alcotest.(check int) "all solved" 0 c.Lv_multiwalk.Campaign.n_unsolved;
+  Alcotest.(check int) "all solved" 0 c.Lv_multiwalk.Campaign.n_censored;
   (* Same seeding contract as the CSP campaign: per-run seeds. *)
   let c2 =
     Lv_multiwalk.Campaign.run_fn ~label:"generic" ~seed:7 ~runs:50 (fun () rng ->
@@ -204,6 +252,374 @@ let test_campaign_rejects_bad_args () =
       ignore
         (Lv_multiwalk.Campaign.run ~label:"x" ~seed:1 ~runs:0 (fun () ->
              Lv_problems.Queens.pack 10)))
+
+(* ------------------------------------------------------------------ *)
+(* Run budgets / censoring                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_validation () =
+  Alcotest.(check bool) "default is unlimited" true
+    (Lv_multiwalk.Run.is_unlimited (Lv_multiwalk.Run.budget ()));
+  Alcotest.(check bool) "a cap is not unlimited" false
+    (Lv_multiwalk.Run.is_unlimited (Lv_multiwalk.Run.budget ~max_iterations:1 ()));
+  let rejects f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | (_ : Lv_multiwalk.Run.budget) -> Alcotest.fail "nonsense budget accepted"
+  in
+  rejects (fun () -> Lv_multiwalk.Run.budget ~max_seconds:(-1.) ());
+  rejects (fun () -> Lv_multiwalk.Run.budget ~max_seconds:Float.nan ());
+  rejects (fun () -> Lv_multiwalk.Run.budget ~max_iterations:0 ())
+
+let test_budget_timeout_zero_censors () =
+  (* The solver polls its stop hook at iteration 0, so an already-expired
+     deadline censors deterministically before any work happens. *)
+  let rng = Lv_stats.Rng.create ~seed:3 in
+  let budget = Lv_multiwalk.Run.budget ~max_seconds:0. () in
+  let o = Lv_multiwalk.Run.once ~budget ~rng (Lv_problems.Queens.pack 15) in
+  Alcotest.(check bool) "censored" false o.Lv_multiwalk.Run.solved;
+  Alcotest.(check int) "stopped before iterating" 0 o.Lv_multiwalk.Run.iterations;
+  Alcotest.(check bool) "duration still nonnegative" true
+    (o.Lv_multiwalk.Run.seconds >= 0.)
+
+let test_budget_iteration_cap_censors () =
+  (* 20-queens does not solve in 2 iterations: the run must come back as a
+     right-censored observation at exactly the cap. *)
+  let budget = Lv_multiwalk.Run.budget ~max_iterations:2 () in
+  let rng = Lv_stats.Rng.create ~seed:100 in
+  let o = Lv_multiwalk.Run.once ~budget ~rng (Lv_problems.Queens.pack 20) in
+  Alcotest.(check bool) "censored" false o.Lv_multiwalk.Run.solved;
+  Alcotest.(check int) "ran to the cap" 2 o.Lv_multiwalk.Run.iterations
+
+let test_run_durations_nonnegative () =
+  (* Regression: durations come from the monotonic clock now; with
+     [Unix.gettimeofday] an NTP step could make them negative. *)
+  let rng = Lv_stats.Rng.create ~seed:77 in
+  let packed = Lv_problems.Queens.pack 12 in
+  for i = 1 to 50 do
+    let o = Lv_multiwalk.Run.once ~rng packed in
+    if o.Lv_multiwalk.Run.seconds < 0. then
+      Alcotest.failf "run %d took %g seconds" i o.Lv_multiwalk.Run.seconds
+  done
+
+let test_campaign_budget_censoring_accounted () =
+  (* Under a tight iteration cap some 15-queens runs solve and some are
+     censored; every run must be accounted for — in the result, in the
+     datasets and in the telemetry counter — not silently dropped. *)
+  let sink = Lv_telemetry.Sink.memory () in
+  let budget = Lv_multiwalk.Run.budget ~max_iterations:10 () in
+  let runs = 10 in
+  let c =
+    Lv_multiwalk.Campaign.run ~budget ~telemetry:sink ~label:"q15-capped"
+      ~seed:100 ~runs (fun () -> Lv_problems.Queens.pack 15)
+  in
+  let n_solved = Lv_multiwalk.Dataset.size c.Lv_multiwalk.Campaign.iterations in
+  let n_censored = c.Lv_multiwalk.Campaign.n_censored in
+  Alcotest.(check bool) "some runs censored" true (n_censored > 0);
+  Alcotest.(check bool) "some runs solved" true (n_solved > 0);
+  Alcotest.(check int) "every run accounted for" runs (n_solved + n_censored);
+  Alcotest.(check int) "iterations dataset carries the censored runs" n_censored
+    (Lv_multiwalk.Dataset.n_censored c.Lv_multiwalk.Campaign.iterations);
+  Alcotest.(check int) "seconds dataset carries the censored runs" n_censored
+    (Lv_multiwalk.Dataset.n_censored c.Lv_multiwalk.Campaign.seconds);
+  let censored = Lv_multiwalk.Campaign.censored_iterations c in
+  Alcotest.(check int) "censored_iterations length" n_censored
+    (Array.length censored);
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "censored at most at the cap" true (v <= 10.))
+    censored;
+  let counter =
+    List.find_map
+      (fun ev ->
+        if ev.Lv_telemetry.Event.path = "campaign.censored" then
+          match ev.Lv_telemetry.Event.kind with
+          | Lv_telemetry.Event.Count n -> Some n
+          | _ -> None
+        else None)
+      (Lv_telemetry.Sink.events sink)
+  in
+  Alcotest.(check (option int)) "telemetry counter agrees" (Some n_censored)
+    counter
+
+let test_campaign_all_censored_rejected () =
+  (* A budget nobody can meet leaves no solved run to fit: the campaign
+     refuses rather than returning an empty dataset. *)
+  match
+    Lv_multiwalk.Campaign.run
+      ~budget:(Lv_multiwalk.Run.budget ~max_seconds:0. ())
+      ~label:"hopeless" ~seed:1 ~runs:3
+      (fun () -> Lv_problems.Queens.pack 15)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "all-censored campaign returned a dataset"
+
+(* ------------------------------------------------------------------ *)
+(* Retry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fast_retry ~max_attempts =
+  Lv_multiwalk.Retry.policy ~base_delay_s:1e-4 ~max_attempts ()
+
+let test_retry_transient_failure_recovers () =
+  let attempts = ref 0 in
+  let notified = ref [] in
+  let v =
+    Lv_multiwalk.Retry.with_retries
+      ~on_retry:(fun ~attempt _exn -> notified := attempt :: !notified)
+      (fast_retry ~max_attempts:3)
+      (fun () ->
+        incr attempts;
+        if !attempts < 3 then failwith "transient";
+        42)
+  in
+  Alcotest.(check int) "first success returned" 42 v;
+  Alcotest.(check int) "tried thrice" 3 !attempts;
+  Alcotest.(check (list int)) "on_retry after attempts 1 and 2" [ 2; 1 ]
+    !notified
+
+exception Always_fails
+
+let test_retry_exhaustion_reraises () =
+  let attempts = ref 0 in
+  (match
+     Lv_multiwalk.Retry.with_retries (fast_retry ~max_attempts:2) (fun () ->
+         incr attempts;
+         raise Always_fails)
+   with
+  | _ -> Alcotest.fail "exhausted retries did not re-raise"
+  | exception Always_fails -> ());
+  Alcotest.(check int) "stopped at max_attempts" 2 !attempts
+
+let test_retry_fatal_not_retried () =
+  let attempts = ref 0 in
+  (match
+     Lv_multiwalk.Retry.with_retries (fast_retry ~max_attempts:5) (fun () ->
+         incr attempts;
+         raise Out_of_memory)
+   with
+  | _ -> Alcotest.fail "Out_of_memory swallowed"
+  | exception Out_of_memory -> ());
+  Alcotest.(check int) "fatal exceptions are not transient" 1 !attempts
+
+let test_retry_backoff_schedule () =
+  let p =
+    Lv_multiwalk.Retry.policy ~base_delay_s:0.01 ~multiplier:2. ~max_delay_s:0.05
+      ~max_attempts:10 ()
+  in
+  Alcotest.(check (float 1e-12)) "first retry" 0.01
+    (Lv_multiwalk.Retry.delay_for p ~attempt:1);
+  Alcotest.(check (float 1e-12)) "doubles" 0.02
+    (Lv_multiwalk.Retry.delay_for p ~attempt:2);
+  Alcotest.(check (float 1e-12)) "doubles again" 0.04
+    (Lv_multiwalk.Retry.delay_for p ~attempt:3);
+  Alcotest.(check (float 1e-12)) "hits the ceiling" 0.05
+    (Lv_multiwalk.Retry.delay_for p ~attempt:4);
+  Alcotest.(check (float 1e-12)) "stays at the ceiling" 0.05
+    (Lv_multiwalk.Retry.delay_for p ~attempt:8);
+  match Lv_multiwalk.Retry.policy ~max_attempts:0 () with
+  | exception Invalid_argument _ -> ()
+  | (_ : Lv_multiwalk.Retry.policy) -> Alcotest.fail "zero attempts accepted"
+
+let test_campaign_retry_preserves_dataset () =
+  (* A run that fails transiently on its first attempt is retried; because
+     each attempt recreates the generator from [seed + run], the retried
+     campaign's dataset is *identical* to a fault-free one. *)
+  let campaign ~faulty () =
+    let calls = Atomic.make 0 in
+    Lv_multiwalk.Campaign.run_fn ~domains:3 ~retry:(fast_retry ~max_attempts:3)
+      ~label:"retry" ~seed:11 ~runs:20
+      (fun () rng ->
+        if faulty && Atomic.fetch_and_add calls 1 = 5 then failwith "transient";
+        let iterations = 1 + Lv_stats.Rng.int rng 1000 in
+        { Lv_multiwalk.Run.seconds = 0.; iterations; solved = true })
+  in
+  let clean = campaign ~faulty:false () in
+  let faulted = campaign ~faulty:true () in
+  Alcotest.(check int) "no retries in the clean campaign" 0
+    clean.Lv_multiwalk.Campaign.n_retried;
+  Alcotest.(check int) "exactly one run was retried" 1
+    faulted.Lv_multiwalk.Campaign.n_retried;
+  Alcotest.(check bool) "retries are invisible in the dataset" true
+    (clean.Lv_multiwalk.Campaign.iterations.Lv_multiwalk.Dataset.values
+    = faulted.Lv_multiwalk.Campaign.iterations.Lv_multiwalk.Dataset.values)
+
+let test_campaign_retry_exhaustion_propagates () =
+  (* A persistent failure must surface even under a retry policy. *)
+  match
+    Lv_multiwalk.Campaign.run_fn ~retry:(fast_retry ~max_attempts:2)
+      ~label:"doomed" ~seed:1 ~runs:4
+      (fun () _rng -> raise Always_fails)
+  with
+  | _ -> Alcotest.fail "persistent failure swallowed by retries"
+  | exception Always_fails -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / resume                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let tmp_log () =
+  let path = tmp_file ".jsonl" in
+  Sys.remove path;
+  (* Campaigns treat a missing file as an empty checkpoint. *)
+  path
+
+let test_checkpoint_log_roundtrip () =
+  let path = tmp_log () in
+  Alcotest.(check int) "missing file is an empty checkpoint" 0
+    (List.length (Lv_multiwalk.Checkpoint.load path));
+  let entries =
+    [
+      { Lv_multiwalk.Checkpoint.run = 0; seed = 100; iterations = 42;
+        seconds = 0.0071; solved = true };
+      { Lv_multiwalk.Checkpoint.run = 1; seed = 101; iterations = 7;
+        seconds = 1. /. 3.; solved = false };
+    ]
+  in
+  Lv_multiwalk.Checkpoint.with_writer path (fun w ->
+      List.iter (Lv_multiwalk.Checkpoint.append w) entries);
+  Alcotest.(check bool) "exact round-trip (17-digit floats)" true
+    (Lv_multiwalk.Checkpoint.load path = entries);
+  (* A line torn by a crash mid-append is dropped, not fatal. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"run\":2,\"se";
+  close_out oc;
+  Alcotest.(check bool) "torn final line dropped" true
+    (Lv_multiwalk.Checkpoint.load path = entries);
+  (* Corruption anywhere *before* the end is not a crash artifact. *)
+  let lines = read_file path in
+  write_file path (lines ^ "\n{\"run\":3,\"seed\":103,\"iterations\":1,\"seconds\":0,\"solved\":true}\n");
+  (match Lv_multiwalk.Checkpoint.load path with
+  | _ -> Alcotest.fail "mid-file corruption loaded"
+  | exception Failure msg ->
+    Alcotest.(check bool) "names the file" true
+      (String.length msg > 0 && Option.is_some (String.index_opt msg ':')));
+  Sys.remove path
+
+let test_checkpoint_observation_roundtrip () =
+  let o = { Lv_multiwalk.Run.seconds = 0.125; iterations = 99; solved = false } in
+  let e = Lv_multiwalk.Checkpoint.entry_of_observation ~run:4 ~seed:104 o in
+  Alcotest.(check int) "run" 4 e.Lv_multiwalk.Checkpoint.run;
+  Alcotest.(check int) "seed" 104 e.Lv_multiwalk.Checkpoint.seed;
+  Alcotest.(check bool) "observation round-trip" true
+    (Lv_multiwalk.Checkpoint.observation_of_entry e = o)
+
+let iterations_csv c =
+  let path = tmp_file ".csv" in
+  Lv_multiwalk.Dataset.save_csv c.Lv_multiwalk.Campaign.iterations path;
+  let s = read_file path in
+  Sys.remove path;
+  s
+
+let test_checkpoint_resume_byte_identical () =
+  (* The headline guarantee: kill a checkpointed campaign mid-flight (here:
+     truncate its run-log to the first 5 entries), resume, and the resumed
+     iterations dataset is byte-for-byte the uninterrupted one — at pool
+     sizes 1 and 4. *)
+  let runs = 12 in
+  let make () = Lv_problems.Queens.pack 12 in
+  let log = tmp_log () in
+  let clean =
+    Lv_multiwalk.Campaign.run ~checkpoint:log ~label:"ck" ~seed:400 ~runs make
+  in
+  Alcotest.(check int) "nothing restored on a fresh log" 0
+    clean.Lv_multiwalk.Campaign.n_restored;
+  let reference = iterations_csv clean in
+  let full_log = read_file log in
+  let first_5 =
+    String.split_on_char '\n' full_log
+    |> List.filteri (fun i _ -> i < 5)
+    |> String.concat "\n"
+  in
+  List.iter
+    (fun domains ->
+      let log_d = tmp_log () in
+      write_file log_d (first_5 ^ "\n");
+      let resumed =
+        Lv_multiwalk.Campaign.run ~domains ~checkpoint:log_d ~label:"ck"
+          ~seed:400 ~runs make
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "restored 5 of %d on %d domains" runs domains)
+        5 resumed.Lv_multiwalk.Campaign.n_restored;
+      Alcotest.(check string)
+        (Printf.sprintf "byte-identical on %d domains" domains)
+        reference (iterations_csv resumed);
+      (* The resumed campaign completed the log: resuming again restores
+         everything and opens no writer. *)
+      let again =
+        Lv_multiwalk.Campaign.run ~domains:1 ~checkpoint:log_d ~label:"ck"
+          ~seed:400 ~runs make
+      in
+      Alcotest.(check int) "second resume restores all" runs
+        again.Lv_multiwalk.Campaign.n_restored;
+      Alcotest.(check string) "still byte-identical" reference
+        (iterations_csv again);
+      Sys.remove log_d)
+    [ 1; 4 ];
+  Sys.remove log
+
+let test_checkpoint_survives_runner_crash () =
+  (* The abort path: a runner crash aborts the campaign through the pool's
+     barrier, but the runs completed before (and joined during) the abort
+     were already flushed to the log — resuming finishes the rest and the
+     dataset equals the fault-free one. *)
+  let runs = 16 in
+  let runner ~boom calls () rng =
+    if boom && Atomic.fetch_and_add calls 1 = 5 then raise Always_fails;
+    let iterations = 1 + Lv_stats.Rng.int rng 1000 in
+    { Lv_multiwalk.Run.seconds = 0.; iterations; solved = true }
+  in
+  let clean =
+    Lv_multiwalk.Campaign.run_fn ~label:"crash" ~seed:900 ~runs
+      (runner ~boom:false (Atomic.make 0))
+  in
+  let log = tmp_log () in
+  (match
+     Lv_multiwalk.Campaign.run_fn ~domains:2 ~checkpoint:log ~label:"crash"
+       ~seed:900 ~runs
+       (runner ~boom:true (Atomic.make 0))
+   with
+  | _ -> Alcotest.fail "crash swallowed"
+  | exception Always_fails -> ());
+  let saved = List.length (Lv_multiwalk.Checkpoint.load log) in
+  Alcotest.(check bool) "completed runs survived the crash" true (saved > 0);
+  Alcotest.(check bool) "the crashed run did not" true (saved < runs);
+  let resumed =
+    Lv_multiwalk.Campaign.run_fn ~domains:2 ~checkpoint:log ~label:"crash"
+      ~seed:900 ~runs
+      (runner ~boom:false (Atomic.make 0))
+  in
+  Alcotest.(check int) "every logged run restored" saved
+    resumed.Lv_multiwalk.Campaign.n_restored;
+  Alcotest.(check bool) "dataset equals the fault-free campaign" true
+    (clean.Lv_multiwalk.Campaign.iterations.Lv_multiwalk.Dataset.values
+    = resumed.Lv_multiwalk.Campaign.iterations.Lv_multiwalk.Dataset.values);
+  Sys.remove log
+
+let test_checkpoint_seed_mismatch_rejected () =
+  let log = tmp_log () in
+  let make () = Lv_problems.Queens.pack 10 in
+  let _ =
+    Lv_multiwalk.Campaign.run ~checkpoint:log ~label:"a" ~seed:500 ~runs:4 make
+  in
+  (match
+     Lv_multiwalk.Campaign.run ~checkpoint:log ~label:"a" ~seed:501 ~runs:4 make
+   with
+  | _ -> Alcotest.fail "foreign checkpoint silently mixed in"
+  | exception Invalid_argument _ -> ());
+  Sys.remove log
 
 (* ------------------------------------------------------------------ *)
 (* Sim                                                                 *)
@@ -368,6 +784,8 @@ let () =
           Alcotest.test_case "csv round-trip" `Quick test_dataset_csv_roundtrip;
           Alcotest.test_case "plain csv" `Quick test_dataset_load_plain_csv;
           Alcotest.test_case "observations filter" `Quick test_dataset_of_observations_filters;
+          Alcotest.test_case "censored csv round-trip" `Quick test_dataset_censored_csv_roundtrip;
+          Alcotest.test_case "malformed csv rejected" `Quick test_dataset_load_rejects_bad_rows;
           Alcotest.test_case "synthetic" `Quick test_dataset_synthetic;
         ] );
       ( "campaign",
@@ -382,6 +800,40 @@ let () =
           Alcotest.test_case "worker exception propagates" `Quick
             test_campaign_worker_exception_propagates;
           Alcotest.test_case "argument validation" `Quick test_campaign_rejects_bad_args;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "validation" `Quick test_budget_validation;
+          Alcotest.test_case "zero timeout censors" `Quick test_budget_timeout_zero_censors;
+          Alcotest.test_case "iteration cap censors" `Quick test_budget_iteration_cap_censors;
+          Alcotest.test_case "durations nonnegative" `Quick test_run_durations_nonnegative;
+          Alcotest.test_case "campaign accounts censoring" `Quick
+            test_campaign_budget_censoring_accounted;
+          Alcotest.test_case "all censored rejected" `Quick test_campaign_all_censored_rejected;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "transient failure recovers" `Quick
+            test_retry_transient_failure_recovers;
+          Alcotest.test_case "exhaustion re-raises" `Quick test_retry_exhaustion_reraises;
+          Alcotest.test_case "fatal not retried" `Quick test_retry_fatal_not_retried;
+          Alcotest.test_case "backoff schedule" `Quick test_retry_backoff_schedule;
+          Alcotest.test_case "campaign dataset unperturbed" `Quick
+            test_campaign_retry_preserves_dataset;
+          Alcotest.test_case "campaign exhaustion propagates" `Quick
+            test_campaign_retry_exhaustion_propagates;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "log round-trip" `Quick test_checkpoint_log_roundtrip;
+          Alcotest.test_case "observation round-trip" `Quick
+            test_checkpoint_observation_roundtrip;
+          Alcotest.test_case "resume byte-identical" `Quick
+            test_checkpoint_resume_byte_identical;
+          Alcotest.test_case "survives runner crash" `Quick
+            test_checkpoint_survives_runner_crash;
+          Alcotest.test_case "seed mismatch rejected" `Quick
+            test_checkpoint_seed_mismatch_rejected;
         ] );
       ( "sim",
         [

@@ -772,6 +772,17 @@ let test_ks_p_value_uniformity () =
   if avg < 0.3 || avg > 0.7 then
     Alcotest.failf "average p-value under H0 is %g, expected ~0.5" avg
 
+let test_ks_statistic_rejects_nan () =
+  (* Regression: with the polymorphic compare a NaN sample value sorted to
+     an unspecified rank, and every NaN CDF comparison was silently false —
+     the statistic came back looking fine instead of failing. *)
+  (match Kolmogorov.statistic [| 0.5; Float.nan; 0.25 |] (fun x -> x) with
+  | (_ : float) -> Alcotest.fail "NaN in the sample accepted"
+  | exception Invalid_argument _ -> ());
+  match Kolmogorov.statistic [| 0.25; 0.75 |] (fun _ -> Float.nan) with
+  | (_ : float) -> Alcotest.fail "NaN-returning CDF accepted"
+  | exception Invalid_argument _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* MLE                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -1224,6 +1235,7 @@ let () =
           Alcotest.test_case "accepts own law" `Quick test_ks_accepts_own_distribution;
           Alcotest.test_case "rejects wrong law" `Quick test_ks_rejects_wrong_distribution;
           Alcotest.test_case "p-value calibration" `Slow test_ks_p_value_uniformity;
+          Alcotest.test_case "NaN rejected" `Quick test_ks_statistic_rejects_nan;
         ] );
       ( "mle",
         [

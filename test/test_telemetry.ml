@@ -311,9 +311,9 @@ let test_campaign_emits_run_events () =
   let report = Report.of_events events in
   let run_phase = Option.get (Report.find_phase report "campaign.run") in
   Alcotest.(check int) "one event per run" runs run_phase.Report.count;
-  Alcotest.(check int) "unsolved agrees with campaign" c.Lv_multiwalk.Campaign.n_unsolved
+  Alcotest.(check int) "unsolved agrees with campaign" c.Lv_multiwalk.Campaign.n_censored
     run_phase.Report.unsolved;
-  Alcotest.(check int) "solved is the rest" (runs - c.Lv_multiwalk.Campaign.n_unsolved)
+  Alcotest.(check int) "solved is the rest" (runs - c.Lv_multiwalk.Campaign.n_censored)
     run_phase.Report.solved;
   (* The traced iteration counts are the campaign's observations. *)
   let traced_iterations =
