@@ -15,9 +15,12 @@
                  race in the iteration metric; see DESIGN.md).
 
    Environment knobs:
-     LV_BENCH_RUNS=N   sequential runs per campaign   (default 400)
-     LV_BENCH_FAST=1   shortcut: 120 runs and smaller instances
-     LV_BENCH_MICRO=0  skip the bechamel micro-benchmarks
+     LV_BENCH_RUNS=N    sequential runs per campaign   (default 400)
+     LV_BENCH_FAST=1    shortcut: 120 runs and smaller instances
+     LV_BENCH_MICRO=0   skip the bechamel micro-benchmarks
+     LV_BENCH_CACHE=DIR serve unchanged campaigns from the engine's
+                        artifact store in DIR (an interrupted run resumes
+                        its campaigns, a repeated run skips them)
 
    EXPERIMENTS.md in the repository root records one reference run. *)
 
@@ -96,24 +99,38 @@ let problems =
     };
   ]
 
-let campaign_of p =
-  let params =
-    { (Lv_problems.Defaults.params p.name p.size) with
-      Lv_search.Params.max_iterations = p.iteration_cap }
+(* Campaigns go through the experiment engine: with LV_BENCH_CACHE set,
+   a campaign whose inputs (problem, size, runs, seed, solver params) are
+   unchanged is restored from the artifact store instead of re-executed,
+   making repeated reference runs incremental. *)
+let engine_ctx =
+  Lv_context.Context.make ~telemetry
+    ?cache_dir:(Sys.getenv_opt "LV_BENCH_CACHE") ()
+
+let engine_campaign ~label ~problem ~size ~seed ~runs ?walk ~iteration_cap () =
+  let scenario =
+    Lv_engine.Scenario.make ~name:label ~runs ~seed ?walk ~iteration_cap
+      ~stages:[ Lv_engine.Scenario.Campaign ] ~problem ~size ()
   in
-  let make () = (Option.get (Lv_problems.Registry.find p.name)) p.size in
+  (Lv_engine.Engine.run ~ctx:engine_ctx scenario).Lv_engine.Engine.campaign
+
+let campaign_of p =
   printf "  [%s] running %d sequential solves...@." p.label runs;
   let t0 = Lv_telemetry.Clock.now_ns () in
   let c =
-    Lv_multiwalk.Campaign.run ~params ~telemetry ~label:p.label ~seed:20130101
-      ~runs make
+    engine_campaign ~label:p.label ~problem:p.name ~size:p.size ~seed:20130101
+      ~runs ~iteration_cap:p.iteration_cap ()
   in
   let dt =
     Lv_telemetry.Clock.seconds_between ~start:t0
       ~stop:(Lv_telemetry.Clock.now_ns ())
   in
-  printf "  [%s] %d sequential runs in %.1fs (%d unsolved)@." p.label runs dt
-    c.Lv_multiwalk.Campaign.n_censored;
+  printf "  [%s] %d sequential runs in %.1fs (%d unsolved%s)@." p.label runs dt
+    c.Lv_multiwalk.Campaign.n_censored
+    (if c.Lv_multiwalk.Campaign.n_restored > 0 then
+       Printf.sprintf ", %d restored from cache"
+         c.Lv_multiwalk.Campaign.n_restored
+     else "");
   c
 
 (* ------------------------------------------------------------------ *)
@@ -590,16 +607,11 @@ let ablation_solver_params () =
   let rows =
     List.map
       (fun walk ->
-        let params =
-          { (Lv_problems.Defaults.params "costas-array" size) with
-            Lv_search.Params.prob_select_loc_min = walk;
-            max_iterations = 2_000_000 }
-        in
         let c =
-          Lv_multiwalk.Campaign.run ~params ~telemetry
+          engine_campaign
             ~label:(Printf.sprintf "costas-%d w%.1f" size walk)
-            ~seed:777 ~runs:runs_d
-            (fun () -> Lv_problems.Costas.pack size)
+            ~problem:"costas-array" ~size ~seed:777 ~runs:runs_d ~walk
+            ~iteration_cap:2_000_000 ()
         in
         let ds = c.Lv_multiwalk.Campaign.iterations in
         let pr =

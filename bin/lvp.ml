@@ -5,6 +5,7 @@
      campaign   collect a sequential runtime dataset (CSV)
      fit        fit candidate distributions to a dataset and KS-test them
      predict    predict multi-walk speed-ups from a dataset
+     run        execute a declarative scenario file end to end (cached)
      simulate   measure multi-walk speed-ups from a dataset (plug-in min)
      race       run a real parallel multi-walk race on OCaml domains
      paper      print the paper's published tables next to model output
@@ -304,21 +305,92 @@ let fit_cmd =
     term
 
 let predict_cmd =
-  let run path cores pool_domains trace quiet verbose =
+  let run path cores out pool_domains trace quiet verbose =
     let ds = Lv_multiwalk.Dataset.load_csv path in
     with_sink ~trace ~verbose @@ fun telemetry ->
     with_pool ~telemetry pool_domains @@ fun pool ->
     let p = Lv_core.Predict.of_dataset ~pool ~telemetry ~cores ds in
     if not quiet then Format.printf "%a@." Lv_core.Predict.pp_prediction p;
+    (match out with
+    | Some file ->
+      Lv_core.Predict.save_csv p file;
+      Format.printf "saved prediction curve to %s@." file
+    | None -> ());
     0
   in
   let term =
     Term.(
-      const run $ dataset_arg $ cores_arg $ pool_domains_arg $ trace_arg
-      $ quiet_arg $ verbose_arg)
+      const run $ dataset_arg $ cores_arg $ out_arg $ pool_domains_arg
+      $ trace_arg $ quiet_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "predict" ~doc:"Predict multi-walk speed-ups from a runtime dataset.")
+    term
+
+let run_cmd =
+  let run path cache out_dir pool_domains trace quiet verbose =
+    match Lv_engine.Scenario.of_file path with
+    | exception Failure msg ->
+      Format.eprintf "lvp run: %s@." msg;
+      1
+    | scenario ->
+      let scenario =
+        match out_dir with
+        | Some dir -> { scenario with Lv_engine.Scenario.output_dir = Some dir }
+        | None -> scenario
+      in
+      with_sink ~trace ~verbose @@ fun telemetry ->
+      with_pool ~telemetry pool_domains @@ fun pool ->
+      let ctx =
+        Lv_context.Context.make ~pool ~telemetry ?cache_dir:cache ()
+      in
+      let outcome = Lv_engine.Engine.run ~ctx scenario in
+      if quiet then
+        (* Keep the cache counters greppable even under --quiet: CI's
+           second-run assertion keys on this line. *)
+        Format.printf "engine cache: hits=%d misses=%d@."
+          outcome.Lv_engine.Engine.cache_hits
+          outcome.Lv_engine.Engine.cache_misses
+      else Format.printf "%a@." Lv_engine.Engine.pp_outcome outcome;
+      0
+  in
+  let scenario_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SCENARIO.CONF"
+          ~doc:"Scenario file ([scenario] section of key = value lines).")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed artifact store: campaigns and fits whose \
+             inputs are unchanged are restored from $(docv) instead of \
+             re-executed (an interrupted campaign resumes from its run-log \
+             there).")
+  in
+  let out_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write the dataset/prediction CSVs under $(docv), overriding the \
+             scenario's own $(b,output) key.")
+  in
+  let term =
+    Term.(
+      const run $ scenario_arg $ cache_arg $ out_dir_arg $ pool_domains_arg
+      $ trace_arg $ quiet_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a declarative experiment scenario end to end (campaign, fit, \
+          predict, simulate, compare), with optional artifact caching.")
     term
 
 let simulate_cmd =
@@ -443,5 +515,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ solve_cmd; campaign_cmd; fit_cmd; predict_cmd; simulate_cmd;
-            race_cmd; ttt_cmd; paper_cmd; trace_cmd ]))
+          [ solve_cmd; campaign_cmd; fit_cmd; predict_cmd; run_cmd;
+            simulate_cmd; race_cmd; ttt_cmd; paper_cmd; trace_cmd ]))

@@ -1,40 +1,29 @@
 (* Quickstart: the library in one page.
 
-   1. Collect sequential runtimes of a Las Vegas algorithm (here: Adaptive
-      Search on a small Costas array instance).
-   2. Fit a runtime distribution and check it with Kolmogorov-Smirnov.
-   3. Predict the multi-walk speed-up on k cores.
-   4. Compare against the measured multi-walk speed-up (exact plug-in
-      minimum over the same dataset).
+   The whole paper workflow — collect sequential runtimes, fit a runtime
+   distribution (KS-checked), predict the multi-walk speed-up on k cores,
+   and compare against the measured plug-in speed-up — is one declarative
+   scenario handed to the experiment engine.  The same experiment as a
+   checked-in file is examples/scenarios/quickstart-costas-12.conf, runnable
+   with `lvp run` (add --cache DIR to make reruns free).
 
    Run with: dune exec examples/quickstart.exe *)
 
 let () =
-  let size = 12 and runs = 150 in
-  let cores = [ 2; 4; 8; 16; 32; 64 ] in
-
-  (* 1. Sequential campaign. *)
-  let params = Lv_problems.Defaults.params "costas-array" size in
-  let campaign =
-    Lv_multiwalk.Campaign.run ~params ~label:"costas-12" ~seed:42 ~runs
-      (fun () -> Lv_problems.Costas.pack size)
+  let scenario =
+    Lv_engine.Scenario.make ~problem:"costas-array" ~size:12 ~runs:150 ~seed:42
+      ~cores:[ 2; 4; 8; 16; 32; 64 ] ()
   in
-  let dataset = campaign.Lv_multiwalk.Campaign.iterations in
-  Format.printf "sequential runs: %a@."
+  let outcome = Lv_engine.Engine.run scenario in
+
+  (* The outcome carries every intermediate product; print the highlights. *)
+  Format.printf "sequential runs: %a@.@."
     Lv_stats.Summary.pp
-    (Lv_multiwalk.Dataset.summary dataset);
-
-  (* 2 + 3. Fit and predict. *)
-  let prediction = Lv_core.Predict.of_dataset ~cores dataset in
-  Format.printf "@.%a@.@." Lv_core.Predict.pp_prediction prediction;
-
-  (* 4. Measure: expected multi-walk runtime is the expectation of the
-     minimum of k draws from the empirical runtime distribution. *)
-  let measured =
-    Lv_multiwalk.Sim.table dataset ~cores
-    |> List.map (fun r -> (r.Lv_multiwalk.Sim.cores, r.Lv_multiwalk.Sim.speedup))
-  in
-  let rows = Lv_core.Predict.compare prediction ~measured in
+    (Lv_multiwalk.Dataset.summary outcome.Lv_engine.Engine.dataset);
+  (match outcome.Lv_engine.Engine.prediction with
+  | Some p -> Format.printf "%a@.@." Lv_core.Predict.pp_prediction p
+  | None -> ());
+  let rows = outcome.Lv_engine.Engine.comparison in
   Format.printf "%a@." Lv_core.Predict.pp_comparison rows;
   Format.printf "max |relative error| = %.1f%%@."
     (100. *. Lv_core.Predict.max_abs_relative_error rows)

@@ -67,6 +67,16 @@ type report = {
   best : fitted option;
 }
 
+let empty_report =
+  {
+    sample_size = 0;
+    n_censored = 0;
+    censored_fraction = 0.;
+    fits = [];
+    accepted = [];
+    best = None;
+  }
+
 let censoring_warn_threshold = 0.05
 
 let censoring_warning r =
@@ -102,17 +112,12 @@ let fit_one_at ?alpha ~telemetry ~path candidate xs =
   let start = if traced then Lv_telemetry.Clock.now_ns () else 0L in
   let emit ~outcome fields =
     if traced then
-      Lv_telemetry.Sink.record telemetry
-        (Lv_telemetry.Event.make
-           ~ts:(Lv_telemetry.Clock.elapsed ())
-           ~path
-           (Lv_telemetry.Event.Span
-              (Lv_telemetry.Clock.seconds_between ~start
-                 ~stop:(Lv_telemetry.Clock.now_ns ())))
-           ~fields:
-             (("candidate", Lv_telemetry.Json.String (candidate_name candidate))
-             :: ("outcome", Lv_telemetry.Json.String outcome)
-             :: fields))
+      Lv_telemetry.Span.record telemetry ~start ~path
+        ~fields:
+          (("candidate", Lv_telemetry.Json.String (candidate_name candidate))
+          :: ("outcome", Lv_telemetry.Json.String outcome)
+          :: fields)
+        ()
   in
   match (estimator candidate) xs with
   | dist ->
@@ -136,8 +141,40 @@ let fit_one_at ?alpha ~telemetry ~path candidate xs =
     emit ~outcome:"inapplicable" [ ("reason", Lv_telemetry.Json.String reason) ];
     None
 
-let fit_one ?alpha ?(telemetry = Lv_telemetry.Sink.null) candidate xs =
-  fit_one_at ?alpha ~telemetry
+let candidates_of_names names =
+  List.map
+    (fun name ->
+      match candidate_of_string name with
+      | Some c -> c
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Fit: unknown candidate %S (known: %s)" name
+             (String.concat ", " (List.map candidate_name all_candidates))))
+    names
+
+(* [?ctx] resolution shared by [fit_one]/[fit]: explicit optional argument
+   > context field > built-in default (see {!Lv_context.Context}). *)
+let resolve_ctx ?(ctx = Lv_context.Context.default) ?alpha ?pool ?telemetry
+    ?candidates () =
+  let alpha =
+    match alpha with Some a -> a | None -> ctx.Lv_context.Context.alpha
+  in
+  let pool =
+    match pool with Some _ as p -> p | None -> ctx.Lv_context.Context.pool
+  in
+  let telemetry =
+    match telemetry with Some t -> t | None -> ctx.Lv_context.Context.telemetry
+  in
+  let candidates =
+    match candidates with
+    | Some _ as c -> c
+    | None -> Option.map candidates_of_names ctx.Lv_context.Context.candidates
+  in
+  (alpha, pool, telemetry, candidates)
+
+let fit_one ?ctx ?alpha ?telemetry candidate xs =
+  let alpha, _, telemetry, _ = resolve_ctx ?ctx ?alpha ?telemetry () in
+  fit_one_at ~alpha ~telemetry
     ~path:(Lv_telemetry.Span.path_of "fit.candidate")
     candidate xs
 
@@ -148,8 +185,11 @@ let fit_one ?alpha ?(telemetry = Lv_telemetry.Sink.null) candidate xs =
 let compare_by_p_value a b =
   Float.compare b.ks.Kolmogorov.p_value a.ks.Kolmogorov.p_value
 
-let fit ?alpha ?pool ?(telemetry = Lv_telemetry.Sink.null)
-    ?(candidates = all_candidates) ?(n_censored = 0) xs =
+let fit ?ctx ?alpha ?pool ?telemetry ?candidates ?(n_censored = 0) xs =
+  let alpha, pool, telemetry, candidates =
+    resolve_ctx ?ctx ?alpha ?pool ?telemetry ?candidates ()
+  in
+  let candidates = Option.value candidates ~default:all_candidates in
   if Array.length xs = 0 then invalid_arg "Fit.fit: empty sample";
   if n_censored < 0 then invalid_arg "Fit.fit: n_censored must be nonnegative";
   let accepted_cell = ref 0 in
@@ -165,7 +205,7 @@ let fit ?alpha ?pool ?(telemetry = Lv_telemetry.Sink.null)
   let p = match pool with Some p -> p | None -> Lv_exec.Pool.default () in
   let fits =
     Lv_exec.Pool.parallel_map p
-      (fun c -> fit_one_at ?alpha ~telemetry ~path:"fit/fit.candidate" c xs)
+      (fun c -> fit_one_at ~alpha ~telemetry ~path:"fit/fit.candidate" c xs)
       (Array.of_list candidates)
     |> Array.to_list
     |> List.filter_map Fun.id

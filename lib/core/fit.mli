@@ -60,7 +60,14 @@ type report = {
           (which degrades gracefully to [x0 = 0]) is the safer choice *)
 }
 
+val empty_report : report
+(** The report of a fit that never ran (zero observations, no fits):
+    what {!Predict.of_distribution} carries when the law is given rather
+    than fitted.  Use this instead of building the record literal so new
+    [report] fields cannot silently desync across call sites. *)
+
 val fit_one :
+  ?ctx:Lv_context.Context.t ->
   ?alpha:float ->
   ?telemetry:Lv_telemetry.Sink.t ->
   candidate ->
@@ -87,6 +94,7 @@ val censoring_warning : report -> string option
     are optimistic.  [None] below the threshold.  {!pp_report} prints it. *)
 
 val fit :
+  ?ctx:Lv_context.Context.t ->
   ?alpha:float ->
   ?pool:Lv_exec.Pool.t ->
   ?telemetry:Lv_telemetry.Sink.t ->
@@ -104,7 +112,12 @@ val fit :
     rather than the estimators themselves.  The whole run is wrapped in a
     ["fit"] telemetry span (sample size, censored count, pool size, number
     accepted); the per-candidate spans are emitted under the fixed path
-    ["fit/fit.candidate"] whatever worker they ran on. *)
+    ["fit/fit.candidate"] whatever worker they ran on.
+
+    [ctx] supplies [alpha], the pool, the telemetry sink and the candidate
+    pool (by canonical name — an unknown name raises [Invalid_argument])
+    when the corresponding explicit arguments are absent; see
+    {!Lv_context.Context}. *)
 
 val pp_fitted : Format.formatter -> fitted -> unit
 val pp_report : Format.formatter -> report -> unit

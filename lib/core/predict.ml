@@ -17,18 +17,13 @@ let traced_curve telemetry pool law ~cores =
       (fun n ->
         let start = Lv_telemetry.Clock.now_ns () in
         let s = Speedup.at law ~cores:n in
-        Lv_telemetry.Sink.record telemetry
-          (Lv_telemetry.Event.make
-             ~ts:(Lv_telemetry.Clock.elapsed ())
-             ~path:"predict/predict.speedup"
-             (Lv_telemetry.Event.Span
-                (Lv_telemetry.Clock.seconds_between ~start
-                   ~stop:(Lv_telemetry.Clock.now_ns ())))
-             ~fields:
-               [
-                 ("cores", Lv_telemetry.Json.Int n);
-                 ("speedup", Lv_telemetry.Json.Float s);
-               ]);
+        Lv_telemetry.Span.record telemetry ~start ~path:"predict/predict.speedup"
+          ~fields:
+            [
+              ("cores", Lv_telemetry.Json.Int n);
+              ("speedup", Lv_telemetry.Json.Float s);
+            ]
+          ();
         { Speedup.cores = n; speedup = s })
       (Array.of_list cores)
     |> Array.to_list
@@ -52,35 +47,42 @@ let of_fit ?pool ?(telemetry = Lv_telemetry.Sink.null) ~label ~cores
     limit = Speedup.limit law;
   }
 
-let of_dataset ?alpha ?candidates ?pool ?(telemetry = Lv_telemetry.Sink.null)
-    ~cores (ds : Lv_multiwalk.Dataset.t) =
+(* [?ctx] resolution: explicit optional argument > context field > default
+   (see {!Lv_context.Context}). *)
+let resolve_ctx ?(ctx = Lv_context.Context.default) ?pool ?telemetry () =
+  let pool =
+    match pool with Some _ as p -> p | None -> ctx.Lv_context.Context.pool
+  in
+  let telemetry =
+    match telemetry with Some t -> t | None -> ctx.Lv_context.Context.telemetry
+  in
+  (pool, telemetry)
+
+let chosen_law (report : Fit.report) ~who =
+  match (report.Fit.best, report.Fit.fits) with
+  | Some f, _ -> f.Fit.dist
+  | None, f :: _ -> f.Fit.dist
+  | None, [] -> invalid_arg (who ^ ": no candidate could be fitted")
+
+let of_report ?ctx ?pool ?telemetry ~label ~cores (report : Fit.report) =
+  let pool, telemetry = resolve_ctx ?ctx ?pool ?telemetry () in
+  of_fit ?pool ~telemetry ~label ~cores report
+    (chosen_law report ~who:"Predict.of_report")
+
+let of_dataset ?ctx ?alpha ?candidates ?pool ?telemetry ~cores
+    (ds : Lv_multiwalk.Dataset.t) =
+  let pool, telemetry = resolve_ctx ?ctx ?pool ?telemetry () in
   let report =
-    Fit.fit ?alpha ?pool ~telemetry ?candidates
+    Fit.fit ?ctx ?alpha ?pool ~telemetry ?candidates
       ~n_censored:(Lv_multiwalk.Dataset.n_censored ds)
       ds.Lv_multiwalk.Dataset.values
   in
-  let chosen =
-    match (report.Fit.best, report.Fit.fits) with
-    | Some f, _ -> f
-    | None, f :: _ -> f
-    | None, [] -> invalid_arg "Predict.of_dataset: no candidate could be fitted"
-  in
   of_fit ?pool ~telemetry ~label:ds.Lv_multiwalk.Dataset.label ~cores report
-    chosen.Fit.dist
+    (chosen_law report ~who:"Predict.of_dataset")
 
-let of_distribution ?pool ?(telemetry = Lv_telemetry.Sink.null) ~label ~cores
-    law =
-  let empty_report =
-    {
-      Fit.sample_size = 0;
-      n_censored = 0;
-      censored_fraction = 0.;
-      fits = [];
-      accepted = [];
-      best = None;
-    }
-  in
-  of_fit ?pool ~telemetry ~label ~cores empty_report law
+let of_distribution ?ctx ?pool ?telemetry ~label ~cores law =
+  let pool, telemetry = resolve_ctx ?ctx ?pool ?telemetry () in
+  of_fit ?pool ~telemetry ~label ~cores Fit.empty_report law
 
 type comparison_row = {
   cores : int;
@@ -104,8 +106,25 @@ let compare p ~measured =
           })
     p.curve
 
-let max_abs_relative_error rows =
-  List.fold_left (fun acc r -> Float.max acc (abs_float r.relative_error)) 0. rows
+(* [nan], not 0, on the empty join: a 0 would read as "perfect prediction"
+   exactly when no core counts matched at all. *)
+let max_abs_relative_error = function
+  | [] -> Float.nan
+  | rows ->
+    List.fold_left (fun acc r -> Float.max acc (abs_float r.relative_error)) 0. rows
+
+(* Shared by the engine's outputs/artifacts and [lvp predict --output]:
+   one writer, so the two paths stay byte-identical. *)
+let save_csv p path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "cores,speedup\n";
+      List.iter
+        (fun { Speedup.cores; speedup } ->
+          Printf.fprintf oc "%d,%.17g\n" cores speedup)
+        p.curve)
 
 let pp_prediction ppf p =
   Format.fprintf ppf "@[<v>%s: law=%a limit=%s@,curve:" p.label

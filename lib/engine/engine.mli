@@ -1,0 +1,61 @@
+(** The unified experiment engine: one {!Scenario.t} in, the whole paper
+    pipeline out.
+
+    [run ctx scenario] executes the scenario's stages in pipeline order —
+    campaign (sequential runtime collection), fit (candidate laws +
+    KS test), predict (multi-walk speed-up curve), simulate (plug-in
+    minimum speed-ups) and compare (predicted vs. measured) — resolving
+    every cross-cutting default (pool, telemetry, budgets, retries,
+    checkpoints, cache) from the {!Lv_context.Context}, while the
+    scenario's own fields (seed, alpha, candidates, budgets) take
+    precedence as the experiment's spec.
+
+    {2 Caching}
+
+    With [ctx.cache_dir] set, the expensive stages are served from an
+    {!Artifact} store: the campaign artifact is the {!Lv_multiwalk.Checkpoint}
+    run-log itself (so a crashed engine run resumes where it stopped, and a
+    completed one is a pure cache hit), the fit artifact is a JSON rendering
+    of the report (laws are rebuilt with {!Lv_core.Fit.instantiate}).  Cache
+    keys hash the {e effective} inputs — scenario fields after context
+    fallback — so changing either the scenario or the governing context
+    field recomputes, and lookups surface as ["engine.cache.hit"] /
+    ["engine.cache.miss"] telemetry counters and in the outcome.
+
+    {2 Telemetry}
+
+    The whole run wraps in an ["engine"] span; each executed stage emits
+    one ["engine/engine.stage"] span (field [stage]), timed whether it was
+    computed or restored from cache. *)
+
+type outcome = {
+  scenario : Scenario.t;  (** as executed (problem name canonicalized) *)
+  campaign : Lv_multiwalk.Campaign.result;
+  dataset : Lv_multiwalk.Dataset.t;
+      (** the scenario-metric projection everything downstream consumed *)
+  fit : Lv_core.Fit.report option;  (** [None] unless stage [Fit] ran *)
+  prediction : Lv_core.Predict.prediction option;
+      (** [None] unless stage [Predict] ran *)
+  simulated : Lv_multiwalk.Sim.row list;  (** [[]] unless stage [Simulate] *)
+  comparison : Lv_core.Predict.comparison_row list;
+      (** predicted vs. simulated, [[]] unless stage [Compare] *)
+  cache_hits : int;  (** artifact-store lookups served from disk *)
+  cache_misses : int;  (** artifact-store lookups that recomputed *)
+  outputs : (string * string) list;
+      (** files written under the scenario's [output] dir, as
+          [(kind, path)] — e.g. [("dataset", "results/x-dataset.csv")] *)
+}
+
+val run : ?ctx:Lv_context.Context.t -> Scenario.t -> outcome
+(** Execute the scenario under the context (default
+    {!Lv_context.Context.default}: sequential, null telemetry, no cache).
+    Deterministic for a given (scenario, context): datasets and predictions
+    are byte-identical whatever the pool size and whether stages were
+    computed or served from cache.  Raises [Failure] / [Invalid_argument]
+    on an invalid scenario-context combination, and lets stage exceptions
+    propagate (nothing half-written: artifact and output writes are
+    atomic). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Human-readable digest: dataset summary, fit verdict, prediction curve,
+    comparison table and cache counters — what [lvp run] prints. *)

@@ -20,14 +20,16 @@ let aliases =
 
 let names = List.map fst all
 
-let find name =
-  let canonical =
+let canonical name =
+  let resolved =
     match List.assoc_opt name aliases with Some c -> c | None -> name
   in
-  match List.assoc_opt canonical all with
-  | Some f -> Some f
-  | None ->
+  if List.mem_assoc resolved all then Some resolved
+  else
     (* Unambiguous prefix of a canonical name. *)
-    (match List.filter (fun (n, _) -> String.starts_with ~prefix:canonical n) all with
-    | [ (_, f) ] -> Some f
-    | _ -> None)
+    match List.filter (fun (n, _) -> String.starts_with ~prefix:resolved n) all with
+    | [ (n, _) ] -> Some n
+    | _ -> None
+
+let find name =
+  Option.bind (canonical name) (fun n -> List.assoc_opt n all)

@@ -4,6 +4,10 @@
 val all : (string * (int -> Lv_search.Csp.packed)) list
 (** Problem constructors by canonical name. *)
 
+val canonical : string -> string option
+(** Resolve an alias or unambiguous prefix ("costas", "ms", "ai") to the
+    canonical name; [None] for unknown or ambiguous input. *)
+
 val find : string -> (int -> Lv_search.Csp.packed) option
 (** Lookup by canonical name or unambiguous prefix ("costas", "ms", "ai"). *)
 

@@ -19,6 +19,12 @@ let emit sink ~name ?duration ?(fields = []) () =
     Sink.record sink
       (Event.make ~fields ~ts:(Clock.elapsed ()) ~path:(path_of name) kind)
 
+let record sink ~start ~path ?(fields = []) () =
+  if not (Sink.is_null sink) then
+    Sink.record sink
+      (Event.make ~fields ~ts:(Clock.elapsed ()) ~path
+         (Event.Span (Clock.seconds_between ~start ~stop:(Clock.now_ns ()))))
+
 let run sink ~name ?(fields = fun () -> []) f =
   if Sink.is_null sink then f ()
   else begin

@@ -29,6 +29,22 @@ val emit :
     unlike {!run} — the [fields] list argument is built by the caller, so
     guard the call with {!Sink.is_null} when field construction matters. *)
 
+val record :
+  Sink.t ->
+  start:int64 ->
+  path:string ->
+  ?fields:(string * Json.t) list ->
+  unit ->
+  unit
+(** Emit one {!Event.kind.Span} at the fixed, pre-resolved [path] whose
+    duration is the monotonic time elapsed since [start]
+    ({!Clock.now_ns}).  This is the building block for spans measured on a
+    pool worker: the worker's domain-local nesting stack is empty, so the
+    enclosing path must be baked in by the caller rather than recovered
+    from nesting.  No-op on the null sink — but, as with {!emit}, the
+    [fields] list is built by the caller, so guard with {!Sink.is_null}
+    when field construction matters. *)
+
 val current_path : unit -> string
 (** The calling domain's open-span path, [""] when none (for tests). *)
 

@@ -431,6 +431,44 @@ let test_fit_subset_of_candidates () =
   let report = Fit.fit ~candidates:[ Fit.Exponential; Fit.Normal ] xs in
   Alcotest.(check int) "only requested candidates" 2 (List.length report.Fit.fits)
 
+let test_fit_instantiate_roundtrips_every_candidate () =
+  (* The artifact cache persists a fit as (candidate, dist.params) and
+     rebuilds the law with Fit.instantiate: for every candidate, fitting,
+     reading the params back and instantiating must reproduce the same
+     distribution (pdf/cdf agree at probe points). *)
+  let rng = Rng.create ~seed:209 in
+  let xs =
+    Distribution.sample_array (Lognormal.create ~mu:3. ~sigma:0.8) rng 300
+  in
+  let fitted = ref 0 in
+  List.iter
+    (fun candidate ->
+      match Fit.fit_one candidate xs with
+      | None -> ()
+      | Some f ->
+        incr fitted;
+        let name = Fit.candidate_name candidate in
+        let rebuilt =
+          Fit.instantiate candidate f.Fit.dist.Distribution.params
+        in
+        List.iter
+          (fun q ->
+            let x = f.Fit.dist.Distribution.quantile q in
+            check_rel ~tol:1e-12
+              (Printf.sprintf "%s cdf at q=%g" name q)
+              (f.Fit.dist.Distribution.cdf x)
+              (rebuilt.Distribution.cdf x);
+            check_rel ~tol:1e-12
+              (Printf.sprintf "%s pdf at q=%g" name q)
+              (f.Fit.dist.Distribution.pdf x)
+              (rebuilt.Distribution.pdf x))
+          [ 0.1; 0.3; 0.5; 0.7; 0.9 ])
+    Fit.all_candidates;
+  (* Positive lognormal data: every family's estimator applies. *)
+  Alcotest.(check int) "every candidate fitted"
+    (List.length Fit.all_candidates)
+    !fitted
+
 (* ------------------------------------------------------------------ *)
 (* Predict                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -480,6 +518,26 @@ let test_predict_relative_error_sign () =
   (* Prediction 8 vs measured 4: overprediction, positive error. *)
   Alcotest.(check bool) "overprediction positive" true
     ((List.hd rows).Predict.relative_error > 0.)
+
+let test_max_abs_relative_error_empty_is_nan () =
+  (* An empty join means *no* core counts matched: 0 there would read as a
+     perfect prediction. *)
+  Alcotest.(check bool) "nan on empty" true
+    (Float.is_nan (Predict.max_abs_relative_error []));
+  let p = Predict.of_distribution ~label:"x" ~cores:[ 8 ] (Exponential.create ~rate:1.) in
+  Alcotest.(check bool) "still nan when nothing joins" true
+    (Float.is_nan
+       (Predict.max_abs_relative_error (Predict.compare p ~measured:[ (16, 4.) ])));
+  Alcotest.(check bool) "finite on a non-empty join" true
+    (Float.is_finite
+       (Predict.max_abs_relative_error (Predict.compare p ~measured:[ (8, 4.) ])))
+
+let test_of_distribution_carries_empty_report () =
+  let p = Predict.of_distribution ~label:"x" ~cores:[ 2 ] (Exponential.create ~rate:1.) in
+  Alcotest.(check bool) "the shared Fit.empty_report" true
+    (p.Predict.fit = Fit.empty_report);
+  Alcotest.(check int) "zero observations" 0 p.Predict.fit.Fit.sample_size;
+  Alcotest.(check bool) "no best fit" true (p.Predict.fit.Fit.best = None)
 
 (* ------------------------------------------------------------------ *)
 (* Bridge: plug-in measurement vs analytic model                       *)
@@ -614,6 +672,8 @@ let () =
           Alcotest.test_case "candidate names" `Quick test_fit_candidate_names_roundtrip;
           Alcotest.test_case "shifted variant preferred" `Quick test_fit_prefers_shifted_variant;
           Alcotest.test_case "candidate subsets" `Quick test_fit_subset_of_candidates;
+          Alcotest.test_case "instantiate round-trips every candidate" `Quick
+            test_fit_instantiate_roundtrips_every_candidate;
         ] );
       ( "predict",
         [
@@ -621,6 +681,10 @@ let () =
           Alcotest.test_case "end to end on synthetic data" `Quick test_predict_of_dataset_end_to_end;
           Alcotest.test_case "compare join" `Quick test_predict_compare_drops_unmatched;
           Alcotest.test_case "error sign" `Quick test_predict_relative_error_sign;
+          Alcotest.test_case "empty comparison is nan" `Quick
+            test_max_abs_relative_error_empty_is_nan;
+          Alcotest.test_case "of_distribution carries empty_report" `Quick
+            test_of_distribution_carries_empty_report;
         ] );
       ( "bridge",
         [

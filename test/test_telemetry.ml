@@ -146,6 +146,30 @@ let test_span_fields_thunk_sees_result () =
       (Option.bind (Event.field "result" ev) Json.to_int)
   | _ -> Alcotest.fail "one event expected"
 
+let test_span_record_fixed_path () =
+  (* Span.record emits a pre-resolved-path span whose duration is the time
+     since [start] — the building block for worker-side and engine-stage
+     timing.  The path is taken verbatim, never from the nesting stack. *)
+  let sink = Sink.memory () in
+  let start = Clock.now_ns () in
+  Span.run sink ~name:"outer" (fun () ->
+      Span.record sink ~start ~path:"fit/fit.candidate"
+        ~fields:[ ("candidate", Json.String "exponential") ]
+        ());
+  match Sink.events sink with
+  | [ recorded; outer ] ->
+    Alcotest.(check string) "fixed path, not nesting path" "fit/fit.candidate"
+      recorded.Event.path;
+    Alcotest.(check string) "outer unaffected" "outer" outer.Event.path;
+    (match Event.duration recorded with
+    | Some d -> Alcotest.(check bool) "nonnegative duration" true (d >= 0.)
+    | None -> Alcotest.fail "expected a span event");
+    Alcotest.(check (option string)) "fields carried" (Some "exponential")
+      (Option.bind (Event.field "candidate" recorded) Json.to_str);
+    (* Null sink: a no-op, nothing recorded anywhere. *)
+    Span.record Sink.null ~start ~path:"nowhere" ()
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
 let test_null_sink_no_state () =
   (* On the null sink Span.run must be the identity wrapper: no events
      stored anywhere, no nesting state, fields thunk never evaluated. *)
@@ -372,6 +396,8 @@ let () =
           Alcotest.test_case "nesting paths" `Quick test_span_nesting_paths;
           Alcotest.test_case "exception tagging" `Quick test_span_exception_tagged;
           Alcotest.test_case "fields after body" `Quick test_span_fields_thunk_sees_result;
+          Alcotest.test_case "record at a fixed path" `Quick
+            test_span_record_fixed_path;
           Alcotest.test_case "null sink is inert" `Quick test_null_sink_no_state;
         ] );
       ( "counter",
