@@ -6,6 +6,7 @@
      fit        fit candidate distributions to a dataset and KS-test them
      predict    predict multi-walk speed-ups from a dataset
      run        execute a declarative scenario file end to end (cached)
+     validate   bootstrap bands + held-out CV + calibration oracle
      simulate   measure multi-walk speed-ups from a dataset (plug-in min)
      race       run a real parallel multi-walk race on OCaml domains
      paper      print the paper's published tables next to model output
@@ -393,6 +394,155 @@ let run_cmd =
           predict, simulate, compare), with optional artifact caching.")
     term
 
+let validate_cmd =
+  let run path replicates folds level trials cache json_out csv_out
+      pool_domains trace quiet verbose =
+    match Lv_engine.Scenario.of_file path with
+    | exception Failure msg ->
+      Format.eprintf "lvp validate: %s@." msg;
+      1
+    | scenario ->
+      let open Lv_engine.Scenario in
+      (* Flag > scenario [validate] key > default, per field. *)
+      let base =
+        Option.value scenario.validate
+          ~default:Lv_validate.Validate.default_config
+      in
+      let cfg =
+        {
+          Lv_validate.Validate.replicates =
+            Option.value replicates ~default:base.Lv_validate.Validate.replicates;
+          folds = Option.value folds ~default:base.Lv_validate.Validate.folds;
+          level = Option.value level ~default:base.Lv_validate.Validate.level;
+          trials = Option.value trials ~default:base.Lv_validate.Validate.trials;
+        }
+      in
+      (match Lv_validate.Validate.check_config cfg with
+      | exception Invalid_argument msg ->
+        Format.eprintf "lvp validate: %s@." msg;
+        1
+      | () ->
+        (* Force the stages validation needs; keep whatever else the
+           scenario asked for, in pipeline order. *)
+        let wanted =
+          [ Campaign; Fit; Validate ]
+          @ List.filter
+              (fun st -> not (List.mem st [ Campaign; Fit; Validate ]))
+              scenario.stages
+        in
+        let stages = List.filter (fun st -> List.mem st wanted) all_stages in
+        let scenario = { scenario with stages; validate = Some cfg } in
+        with_sink ~trace ~verbose @@ fun telemetry ->
+        with_pool ~telemetry pool_domains @@ fun pool ->
+        let ctx = Lv_context.Context.make ~pool ~telemetry ?cache_dir:cache () in
+        let outcome = Lv_engine.Engine.run ~ctx scenario in
+        (match outcome.Lv_engine.Engine.validation with
+        | None ->
+          Format.eprintf "lvp validate: engine produced no validation report@.";
+          1
+        | Some report ->
+          if quiet then
+            (* Keep the cache counters greppable even under --quiet: CI's
+               second-run assertion keys on this line. *)
+            Format.printf "engine cache: hits=%d misses=%d@."
+              outcome.Lv_engine.Engine.cache_hits
+              outcome.Lv_engine.Engine.cache_misses
+          else begin
+            Format.printf "%a@." Lv_validate.Validate.pp_report report;
+            Format.printf "engine cache: hits=%d misses=%d@."
+              outcome.Lv_engine.Engine.cache_hits
+              outcome.Lv_engine.Engine.cache_misses
+          end;
+          (match json_out with
+          | Some file ->
+            Lv_validate.Validate.save_json report file;
+            if not quiet then Format.printf "saved validation report to %s@." file
+          | None -> ());
+          (match csv_out with
+          | Some file ->
+            Lv_validate.Validate.save_csv report file;
+            if not quiet then Format.printf "saved validation table to %s@." file
+          | None -> ());
+          0))
+  in
+  let scenario_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SCENARIO.CONF"
+          ~doc:"Scenario file ([scenario] section of key = value lines).")
+  in
+  let replicates_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replicates" ] ~docv:"N"
+          ~doc:
+            "Bootstrap resamples per confidence band (overrides the \
+             scenario's $(b,validate) key; default 200).")
+  in
+  let folds_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "folds" ] ~docv:"K"
+          ~doc:"Cross-validation folds (default 2 = split-half).")
+  in
+  let level_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "level" ] ~docv:"L"
+          ~doc:"Confidence level of the bootstrap bands (default 0.95).")
+  in
+  let trials_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trials" ] ~docv:"T"
+          ~doc:
+            "Calibration-oracle trials: sample $(docv) synthetic datasets \
+             from the fitted law and check parameter recovery, band \
+             coverage and the KS false-rejection rate (0 disables).")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Artifact store shared with $(b,lvp run): an unchanged \
+             campaign/fit/validation is restored instead of recomputed.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the full validation report as JSON to $(docv).")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write the flat band/fold/oracle table as CSV to $(docv).")
+  in
+  let term =
+    Term.(
+      const run $ scenario_arg $ replicates_arg $ folds_arg $ level_arg
+      $ trials_arg $ cache_arg $ json_arg $ csv_arg $ pool_domains_arg
+      $ trace_arg $ quiet_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Validate a scenario's fit and predictions: bootstrap confidence \
+          bands over the whole fit-and-predict pipeline, held-out \
+          cross-validation, and an optional simulation-based calibration \
+          oracle.")
+    term
+
 let simulate_cmd =
   let run path cores =
     let ds = Lv_multiwalk.Dataset.load_csv path in
@@ -516,4 +666,5 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ solve_cmd; campaign_cmd; fit_cmd; predict_cmd; run_cmd;
-            simulate_cmd; race_cmd; ttt_cmd; paper_cmd; trace_cmd ]))
+            validate_cmd; simulate_cmd; race_cmd; ttt_cmd; paper_cmd;
+            trace_cmd ]))

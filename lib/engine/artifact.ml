@@ -1,6 +1,6 @@
 (* Bump whenever an artifact format or a producing stage's algorithm
    changes: the salt lands in every key, so old artifacts miss cleanly. *)
-let code_version = "lv-engine-1"
+let code_version = "lv-engine-2"
 
 type t = {
   dir : string;

@@ -5,6 +5,7 @@ module Dataset = Lv_multiwalk.Dataset
 module Fit = Lv_core.Fit
 module Predict = Lv_core.Predict
 module Json = Lv_telemetry.Json
+module Validate = Lv_validate.Validate
 
 type outcome = {
   scenario : Scenario.t;
@@ -14,6 +15,7 @@ type outcome = {
   prediction : Predict.prediction option;
   simulated : Lv_multiwalk.Sim.row list;
   comparison : Predict.comparison_row list;
+  validation : Validate.report option;
   cache_hits : int;
   cache_misses : int;
   outputs : (string * string) list;
@@ -70,6 +72,21 @@ let fit_key ctx (sc : Scenario.t) =
           match effective_candidates ctx sc with
           | None -> "all"
           | Some names -> String.concat "," names );
+      ]
+
+let validate_key ctx (sc : Scenario.t) (cfg : Validate.config) =
+  Artifact.key ~stage:"validate" ~seed:sc.Scenario.seed
+    ~params:
+      [
+        (* Validation consumes the fit (and through it the campaign), so
+           its key embeds the fit key. *)
+        ("fit", fit_key ctx sc);
+        ( "cores",
+          String.concat "," (List.map string_of_int sc.Scenario.cores) );
+        ("replicates", string_of_int cfg.Validate.replicates);
+        ("folds", string_of_int cfg.Validate.folds);
+        ("level", Printf.sprintf "%.17g" cfg.Validate.level);
+        ("trials", string_of_int cfg.Validate.trials);
       ]
 
 (* ------------------------------------------------------------------ *)
@@ -288,6 +305,32 @@ let run_fit (ctx : Ctx.t) store (sc : Scenario.t) (ds : Dataset.t) =
       compute
 
 (* ------------------------------------------------------------------ *)
+(* Validate stage: the whole Validate.report as one JSON artifact.     *)
+(* ------------------------------------------------------------------ *)
+
+let run_validate (ctx : Ctx.t) store (sc : Scenario.t) (cfg : Validate.config)
+    (ds : Dataset.t) (report : Fit.report) =
+  let candidates =
+    Option.map
+      (List.filter_map Fit.candidate_of_string)
+      sc.Scenario.candidates
+  in
+  let compute () =
+    Validate.run ~ctx ?alpha:sc.Scenario.alpha ?candidates ~config:cfg
+      ~seed:sc.Scenario.seed ~cores:sc.Scenario.cores ~label:sc.Scenario.name
+      ~report ds.Dataset.values
+  in
+  match store with
+  | None -> compute ()
+  | Some t ->
+    let key = validate_key ctx sc cfg in
+    Artifact.with_cache t ~stage:"validate" ~key ~ext:"json"
+      ~load:(fun file -> Validate.of_json (Json.of_string (read_file file)))
+      ~save:(fun r tmp ->
+        write_file tmp (Json.to_string (Validate.to_json r) ^ "\n"))
+      compute
+
+(* ------------------------------------------------------------------ *)
 (* The pipeline                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -364,6 +407,13 @@ let run ?(ctx = Ctx.default) (sc : Scenario.t) =
     | Some rows -> rows
     | None -> []
   in
+  let validation =
+    stage Scenario.Validate (fun () ->
+        match (fit, sc.Scenario.validate) with
+        | Some report, Some cfg ->
+          run_validate ctx store sc cfg dataset report
+        | _ -> invalid_arg "Engine.run: validate stage without fit stage")
+  in
   let outputs =
     match sc.Scenario.output_dir with
     | None -> []
@@ -374,13 +424,23 @@ let run ?(ctx = Ctx.default) (sc : Scenario.t) =
       in
       Dataset.save_csv dataset dataset_path;
       let outputs = [ ("dataset", dataset_path) ] in
-      (match prediction with
-      | Some p ->
-        let prediction_path =
-          Filename.concat dir (sc.Scenario.name ^ "-prediction.csv")
+      let outputs =
+        match prediction with
+        | Some p ->
+          let prediction_path =
+            Filename.concat dir (sc.Scenario.name ^ "-prediction.csv")
+          in
+          Predict.save_csv p prediction_path;
+          outputs @ [ ("prediction", prediction_path) ]
+        | None -> outputs
+      in
+      (match validation with
+      | Some v ->
+        let validation_path =
+          Filename.concat dir (sc.Scenario.name ^ "-validation.csv")
         in
-        Predict.save_csv p prediction_path;
-        outputs @ [ ("prediction", prediction_path) ]
+        Validate.save_csv v validation_path;
+        outputs @ [ ("validation", validation_path) ]
       | None -> outputs)
   in
   {
@@ -391,6 +451,7 @@ let run ?(ctx = Ctx.default) (sc : Scenario.t) =
     prediction;
     simulated;
     comparison;
+    validation;
     cache_hits = (match store with Some t -> Artifact.hits t | None -> 0);
     cache_misses = (match store with Some t -> Artifact.misses t | None -> 0);
     outputs;
@@ -422,6 +483,9 @@ let pp_outcome ppf o =
     Format.fprintf ppf "%a@," Predict.pp_comparison rows;
     Format.fprintf ppf "max |relative error| = %.1f%%@,"
       (100. *. Predict.max_abs_relative_error rows));
+  (match o.validation with
+  | Some v -> Format.fprintf ppf "%a@," Validate.pp_report v
+  | None -> ());
   List.iter
     (fun (kind, path) -> Format.fprintf ppf "wrote %s to %s@," kind path)
     o.outputs;

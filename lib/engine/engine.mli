@@ -4,7 +4,9 @@
     [run ctx scenario] executes the scenario's stages in pipeline order —
     campaign (sequential runtime collection), fit (candidate laws +
     KS test), predict (multi-walk speed-up curve), simulate (plug-in
-    minimum speed-ups) and compare (predicted vs. measured) — resolving
+    minimum speed-ups), compare (predicted vs. measured) and validate
+    (bootstrap bands, held-out cross-validation and the calibration
+    oracle of {!Lv_validate.Validate}) — resolving
     every cross-cutting default (pool, telemetry, budgets, retries,
     checkpoints, cache) from the {!Lv_context.Context}, while the
     scenario's own fields (seed, alpha, candidates, budgets) take
@@ -16,7 +18,9 @@
     {!Artifact} store: the campaign artifact is the {!Lv_multiwalk.Checkpoint}
     run-log itself (so a crashed engine run resumes where it stopped, and a
     completed one is a pure cache hit), the fit artifact is a JSON rendering
-    of the report (laws are rebuilt with {!Lv_core.Fit.instantiate}).  Cache
+    of the report (laws are rebuilt with {!Lv_core.Fit.instantiate}), and
+    the validation artifact is the {!Lv_validate.Validate.to_json} report
+    (keyed on the fit key plus the validation config, cores and seed).  Cache
     keys hash the {e effective} inputs — scenario fields after context
     fallback — so changing either the scenario or the governing context
     field recomputes, and lookups surface as ["engine.cache.hit"] /
@@ -39,6 +43,8 @@ type outcome = {
   simulated : Lv_multiwalk.Sim.row list;  (** [[]] unless stage [Simulate] *)
   comparison : Lv_core.Predict.comparison_row list;
       (** predicted vs. simulated, [[]] unless stage [Compare] *)
+  validation : Lv_validate.Validate.report option;
+      (** [None] unless stage [Validate] ran *)
   cache_hits : int;  (** artifact-store lookups served from disk *)
   cache_misses : int;  (** artifact-store lookups that recomputed *)
   outputs : (string * string) list;

@@ -1,6 +1,7 @@
-type stage = Campaign | Fit | Predict | Simulate | Compare
+type stage = Campaign | Fit | Predict | Simulate | Compare | Validate
 
-let all_stages = [ Campaign; Fit; Predict; Simulate; Compare ]
+let all_stages = [ Campaign; Fit; Predict; Simulate; Compare; Validate ]
+let default_stages = [ Campaign; Fit; Predict; Simulate; Compare ]
 
 let stage_name = function
   | Campaign -> "campaign"
@@ -8,6 +9,7 @@ let stage_name = function
   | Predict -> "predict"
   | Simulate -> "simulate"
   | Compare -> "compare"
+  | Validate -> "validate"
 
 let stage_of_string s =
   List.find_opt (fun st -> stage_name st = s) all_stages
@@ -27,6 +29,7 @@ type t = {
   alpha : float option;
   candidates : string list option;
   stages : stage list;
+  validate : Lv_validate.Validate.config option;
   output_dir : string option;
 }
 
@@ -82,6 +85,22 @@ let validate t =
       names
   | None -> ());
   if t.stages = [] then fail "scenario: stages must be non-empty";
+  (* Invariant: the Validate stage and a validation config come and go
+     together — asking for the stage fills in the default config, and a
+     [validate =] key implies the stage. *)
+  let t =
+    if has_stage t Validate && t.validate = None then
+      { t with validate = Some Lv_validate.Validate.default_config }
+    else if t.validate <> None && not (has_stage t Validate) then
+      (* Stages are already in pipeline order and Validate comes last. *)
+      { t with stages = t.stages @ [ Validate ] }
+    else t
+  in
+  (match t.validate with
+  | Some cfg -> (
+    try Lv_validate.Validate.check_config cfg
+    with Invalid_argument m -> fail "scenario: %s" m)
+  | None -> ());
   let requires st prereq =
     if has_stage t st && not (has_stage t prereq) then
       fail "scenario: stage %s requires stage %s" (stage_name st)
@@ -92,6 +111,7 @@ let validate t =
   requires Predict Fit;
   requires Compare Predict;
   requires Compare Simulate;
+  requires Validate Fit;
   t
 
 (* Stages normalized to pipeline order, deduplicated. *)
@@ -100,7 +120,8 @@ let normalize_stages stages =
 
 let make ?name ?(runs = 200) ?(seed = 1) ?(cores = [ 16; 32; 64; 128; 256 ])
     ?(metric = `Iterations) ?walk ?iteration_cap ?timeout ?max_iters ?alpha
-    ?candidates ?(stages = all_stages) ?output_dir ~problem ~size () =
+    ?candidates ?(stages = default_stages) ?validate:validate_config
+    ?output_dir ~problem ~size () =
   let t =
     validate
       {
@@ -120,6 +141,7 @@ let make ?name ?(runs = 200) ?(seed = 1) ?(cores = [ 16; 32; 64; 128; 256 ])
         alpha;
         candidates;
         stages = normalize_stages stages;
+        validate = validate_config;
         output_dir;
       }
   in
@@ -247,6 +269,49 @@ let of_string ?(path = "<scenario>") text =
              | None -> perr line "key \"stages\": unknown stage %S" s)
            (split_list v))
   in
+  let validate_config =
+    match get "validate" with
+    | None -> None
+    | Some (line, v) -> (
+      match String.lowercase_ascii v with
+      | "off" | "false" | "no" -> None
+      | "on" | "true" | "yes" -> Some Lv_validate.Validate.default_config
+      | _ ->
+        Some
+          (List.fold_left
+             (fun (cfg : Lv_validate.Validate.config) item ->
+               match String.index_opt item '=' with
+               | None ->
+                 perr line
+                   "key \"validate\": expected on, off or a comma list of \
+                    replicates/folds/level/trials = value pairs, got %S"
+                   item
+               | Some eq ->
+                 let k = normalize_key (String.sub item 0 eq) in
+                 let v =
+                   trim
+                     (String.sub item (eq + 1) (String.length item - eq - 1))
+                 in
+                 let int () =
+                   match int_of_string_opt v with
+                   | Some n -> n
+                   | None ->
+                     perr line "key \"validate\": %S is not an integer" v
+                 in
+                 (match k with
+                 | "replicates" ->
+                   { cfg with Lv_validate.Validate.replicates = int () }
+                 | "folds" -> { cfg with Lv_validate.Validate.folds = int () }
+                 | "trials" ->
+                   { cfg with Lv_validate.Validate.trials = int () }
+                 | "level" -> (
+                   match float_of_string_opt v with
+                   | Some f -> { cfg with Lv_validate.Validate.level = f }
+                   | None ->
+                     perr line "key \"validate\": %S is not a number" v)
+                 | _ -> perr line "key \"validate\": unknown sub-key %S" k))
+             Lv_validate.Validate.default_config (split_list v)))
+  in
   let output_dir = get_str "output" in
   (* Every key present in the file must have been consumed above. *)
   Hashtbl.iter
@@ -255,7 +320,8 @@ let of_string ?(path = "<scenario>") text =
     fields;
   try
     make ?name ?runs ?seed ?cores ?metric ?walk ?iteration_cap ?timeout
-      ?max_iters ?alpha ?candidates ?stages ?output_dir ~problem ~size ()
+      ?max_iters ?alpha ?candidates ?stages ?validate:validate_config
+      ?output_dir ~problem ~size ()
   with Failure m -> failwith (Printf.sprintf "%s: %s" path m)
 
 let of_file path =
@@ -289,6 +355,12 @@ let to_string t =
   opt "max-iters" string_of_int t.max_iters;
   opt "alpha" (Printf.sprintf "%.17g") t.alpha;
   opt "candidates" (String.concat ",") t.candidates;
+  opt "validate"
+    (fun (c : Lv_validate.Validate.config) ->
+      Printf.sprintf "replicates=%d,folds=%d,level=%.17g,trials=%d"
+        c.Lv_validate.Validate.replicates c.Lv_validate.Validate.folds
+        c.Lv_validate.Validate.level c.Lv_validate.Validate.trials)
+    t.validate;
   line "stages = %s" (String.concat "," (List.map stage_name t.stages));
   opt "output" Fun.id t.output_dir;
   Buffer.contents b

@@ -29,14 +29,20 @@
     timeout    = 30.0               ; per-run wall budget (censoring)
     max-iters  = 100000             ; per-run iteration budget (censoring)
     stages     = campaign,fit,predict,simulate,compare
+    validate   = on                 ; or: off, or replicates=400,folds=5,
+                                    ;     level=0.9,trials=100 (any subset)
     output     = results/costas-12  ; write dataset/prediction CSVs here
     v}
+
+    A [validate] key implies the [validate] stage (and vice versa: listing
+    the stage without the key uses {!Lv_validate.Validate.default_config});
+    the stage requires [fit].
 
     Key spelling accepts ['-'] and ['_'] interchangeably.  Unknown keys,
     unknown sections and malformed values fail with the file and line
     number — a typo must not silently change an experiment. *)
 
-type stage = Campaign | Fit | Predict | Simulate | Compare
+type stage = Campaign | Fit | Predict | Simulate | Compare | Validate
 
 type t = {
   name : string;  (** dataset label and artifact/output file stem *)
@@ -54,11 +60,18 @@ type t = {
   candidates : string list option;
       (** candidate pool by canonical name; [None] = fit default *)
   stages : stage list;  (** in pipeline order, deduplicated *)
+  validate : Lv_validate.Validate.config option;
+      (** present iff {!stage.Validate} is among [stages] (the
+          constructor maintains the invariant in both directions) *)
   output_dir : string option;
 }
 
 val all_stages : stage list
-(** [[Campaign; Fit; Predict; Simulate; Compare]] — the default. *)
+(** Every stage, in pipeline order (ends with [Validate]). *)
+
+val default_stages : stage list
+(** [[Campaign; Fit; Predict; Simulate; Compare]] — {!make}'s default;
+    validation is opt-in. *)
 
 val stage_name : stage -> string
 val stage_of_string : string -> stage option
@@ -76,18 +89,20 @@ val make :
   ?alpha:float ->
   ?candidates:string list ->
   ?stages:stage list ->
+  ?validate:Lv_validate.Validate.config ->
   ?output_dir:string ->
   problem:string ->
   size:int ->
   unit ->
   t
 (** Programmatic constructor with the same defaults and validation as the
-    file parser (runs 200, seed 1, cores 16..256, iteration metric, all
-    stages).  Raises [Failure] on an invalid scenario — unknown problem,
-    unknown candidate name, nonpositive size/runs/cores, or a stage whose
-    prerequisite stage is missing ([Fit] needs [Campaign], [Predict]
-    needs [Fit], [Simulate] needs [Campaign], [Compare] needs [Predict]
-    and [Simulate]). *)
+    file parser (runs 200, seed 1, cores 16..256, iteration metric,
+    {!default_stages}).  Raises [Failure] on an invalid scenario —
+    unknown problem, unknown candidate name, nonpositive size/runs/cores,
+    an invalid validation config, or a stage whose prerequisite stage is
+    missing ([Fit] needs [Campaign], [Predict] needs [Fit], [Simulate]
+    needs [Campaign], [Compare] needs [Predict] and [Simulate],
+    [Validate] needs [Fit]). *)
 
 val of_string : ?path:string -> string -> t
 (** Parse scenario text.  [path] only decorates error messages.  Raises

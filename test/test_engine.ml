@@ -92,8 +92,10 @@ let test_scenario_parse_defaults () =
     sc.Scenario.name;
   Alcotest.(check int) "runs" 200 sc.Scenario.runs;
   Alcotest.(check int) "seed" 1 sc.Scenario.seed;
-  Alcotest.(check bool) "all stages" true
-    (sc.Scenario.stages = Scenario.all_stages);
+  Alcotest.(check bool) "default stages" true
+    (sc.Scenario.stages = Scenario.default_stages);
+  Alcotest.(check bool) "no validation by default" true
+    (sc.Scenario.validate = None);
   Alcotest.(check bool) "iteration metric" true
     (sc.Scenario.metric = `Iterations)
 
@@ -129,7 +131,7 @@ let test_scenario_parse_full () =
     (sc.Scenario.candidates
     = Some (List.map Lv_core.Fit.candidate_name Lv_core.Fit.paper_candidates));
   Alcotest.(check bool) "stages normalized to pipeline order" true
-    (sc.Scenario.stages = Scenario.all_stages);
+    (sc.Scenario.stages = Scenario.default_stages);
   Alcotest.(check bool) "output" true (sc.Scenario.output_dir = Some "out")
 
 let expect_parse_error ~substring text =
@@ -186,6 +188,146 @@ let test_scenario_make_validation () =
       Scenario.make ~problem:"queens" ~size:8 ~alpha:0. ());
   check_fails "empty stages" (fun () ->
       Scenario.make ~problem:"queens" ~size:8 ~stages:[] ())
+
+(* ------------------------------------------------------------------ *)
+(* Scenario parser fuzzing                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Random valid scenarios for the round-trip properties: every knob the
+   canonical renderer prints, drawn from its legal range, with stage sets
+   closed under the pipeline's prerequisite relation.  The generator
+   builds through [Scenario.make], so the value under test is already
+   normalized (canonical problem name, pipeline-ordered stages, the
+   validate-stage/validate-config invariant applied). *)
+let gen_valid_scenario =
+  let open QCheck.Gen in
+  let stage_sets =
+    [
+      [ Scenario.Campaign ];
+      [ Scenario.Campaign; Scenario.Simulate ];
+      [ Scenario.Campaign; Scenario.Fit ];
+      [ Scenario.Campaign; Scenario.Fit; Scenario.Predict ];
+      Scenario.default_stages;
+      Scenario.all_stages;
+    ]
+  in
+  let candidate_names =
+    List.map Lv_core.Fit.candidate_name Lv_core.Fit.all_candidates
+  in
+  let* problem = oneofl Lv_problems.Registry.names in
+  let* size = int_range 1 500 in
+  let* runs = int_range 1 2000 in
+  let* seed = int_range 0 1_000_000 in
+  let* cores = list_size (int_range 1 6) (int_range 1 512) in
+  let cores = if cores = [] then [ 2 ] else cores in
+  let* metric = oneofl [ `Iterations; `Seconds ] in
+  let* walk = opt (float_range 0. 1.) in
+  let* iteration_cap = opt (int_range 1 1_000_000) in
+  let* timeout = opt (float_range 0.001 3600.) in
+  let* max_iters = opt (int_range 1 1_000_000) in
+  let* alpha = opt (float_range 0.001 0.999) in
+  let* candidates =
+    opt
+      (let* n = int_range 1 (List.length candidate_names) in
+       let* shuffled = shuffle_l candidate_names in
+       return (List.filteri (fun i _ -> i < n) shuffled))
+  in
+  let* stages = oneofl stage_sets in
+  let* validate_config =
+    (* A validation config implies the Validate stage, which requires
+       Fit — only attach one to a Fit-bearing stage set. *)
+    if List.mem Scenario.Fit stages then
+      opt
+        (let* replicates = int_range 2 100 in
+         let* folds = int_range 2 6 in
+         let* level = float_range 0.5 0.995 in
+         let* trials = int_range 0 20 in
+         return { Lv_validate.Validate.replicates; folds; level; trials })
+    else return None
+  in
+  let* output_dir = opt (oneofl [ "out"; "results/x"; "o" ]) in
+  return
+    (Scenario.make ~problem ~size ~runs ~seed ~cores ~metric ?walk
+       ?iteration_cap ?timeout ?max_iters ?alpha ?candidates ~stages
+       ?validate:validate_config ?output_dir ())
+
+(* Junk input for the error-path property: a soup of plausible-looking and
+   hostile lines — real keys, malformed values, random printables. *)
+let gen_junk_text =
+  let open QCheck.Gen in
+  let junk_line =
+    oneof
+      [
+        string_size ~gen:printable (int_range 0 30);
+        (let* k = string_size ~gen:(char_range 'a' 'z') (int_range 0 8) in
+         let* v = string_size ~gen:printable (int_range 0 12) in
+         return (k ^ " = " ^ v));
+        oneofl
+          [
+            "[scenario]";
+            "[other]";
+            "# comment";
+            "; note";
+            "problem = queens";
+            "problem = sudoku";
+            "size = 30";
+            "size = huge";
+            "runs = 0";
+            "stages = fit";
+            "stages = warp";
+            "validate = on";
+            "validate = replicates=zero";
+            "validate = levels=0.9";
+            "cores = 1,2,x";
+            "alpha = 2";
+            "=";
+            " = 3";
+          ];
+      ]
+  in
+  let* lines = list_size (int_range 0 12) junk_line in
+  return (String.concat "\n" lines)
+
+let scenario_qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"round-trip: parse (print sc) = sc" ~count:250
+      (make ~print:Scenario.to_string gen_valid_scenario)
+      (fun sc -> Scenario.of_string (Scenario.to_string sc) = sc);
+    Test.make ~name:"fixpoint: print (parse text) = text" ~count:250
+      (make ~print:Scenario.to_string gen_valid_scenario)
+      (fun sc ->
+        let text = Scenario.to_string sc in
+        Scenario.to_string (Scenario.of_string text) = text);
+    Test.make ~name:"junk input: Failure tagged with the path, never another \
+                     exception"
+      ~count:600
+      (make ~print:Print.string gen_junk_text)
+      (fun text ->
+        match Scenario.of_string ~path:"fuzz.conf" text with
+        | _ -> true
+        | exception Failure msg ->
+          String.length msg >= 9 && String.sub msg 0 9 = "fuzz.conf"
+        | exception _ -> false);
+    Test.make ~name:"junk line is reported with its line number" ~count:120
+      (pair
+         (make ~print:Print.string
+            (QCheck.Gen.string_size
+               ~gen:(QCheck.Gen.char_range 'a' 'z')
+               (QCheck.Gen.int_range 1 10)))
+         (int_range 0 3))
+      (fun (junk, before) ->
+        (* Insert a key-less line after [before] comment lines and the
+           3-line minimal scenario; it must be reported as line 4+before. *)
+        let padding = String.concat "" (List.init before (fun _ -> "# pad\n")) in
+        let text = padding ^ minimal ^ junk ^ "\n" in
+        let expect = Printf.sprintf "fuzz.conf:%d:" (4 + before) in
+        match Scenario.of_string ~path:"fuzz.conf" text with
+        | _ -> false
+        | exception Failure msg ->
+          String.length msg >= String.length expect
+          && String.sub msg 0 (String.length expect) = expect);
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Artifact                                                            *)
@@ -268,7 +410,7 @@ let test_artifact_telemetry_counters () =
 (* ------------------------------------------------------------------ *)
 
 (* Small and fast: n-queens 20, a handful of runs. *)
-let small_scenario ?(stages = Scenario.all_stages) ?output_dir () =
+let small_scenario ?(stages = Scenario.default_stages) ?output_dir () =
   Scenario.make ~problem:"n-queens" ~size:20 ~runs:12 ~seed:3
     ~cores:[ 2; 4 ] ~candidates:[ "exponential"; "shifted-exponential" ]
     ~stages ?output_dir ()
@@ -387,6 +529,8 @@ let () =
           Alcotest.test_case "canonical round-trip" `Quick test_scenario_roundtrip;
           Alcotest.test_case "make validation" `Quick test_scenario_make_validation;
         ] );
+      ( "scenario-fuzz",
+        List.map QCheck_alcotest.to_alcotest scenario_qcheck_props );
       ( "artifact",
         [
           Alcotest.test_case "key stability" `Quick test_artifact_key_stable;

@@ -1043,6 +1043,35 @@ let test_bootstrap_narrows_with_n () =
 
 let qcheck_props =
   let open QCheck in
+  (* Order-statistic minima against Monte-Carlo sampling, one property per
+     candidate family.  The tolerance is tied to the Monte-Carlo standard
+     error of the replicate minima (3.5 SE keeps the per-case flake
+     probability ~2e-4 while still catching any real bias), so the check is
+     exactly as sharp as the sampling noise allows — for the exponential
+     and Weibull the reference is the analytic closed form, for the
+     lognormal and gamma the survival-function quadrature. *)
+  let mc_min_matches ~name ?(reps = 4000) make_dist reference =
+    Test.make ~name ~count:5
+      (pair small_int (int_range 2 8))
+      (fun (seed, n) ->
+        let d = make_dist seed in
+        let expected = reference d n in
+        let rng = Rng.create ~seed:(seed + 90210) in
+        let sum = ref 0. and sumsq = ref 0. in
+        for _ = 1 to reps do
+          let draws = Distribution.sample_array d rng n in
+          let m = Array.fold_left Float.min draws.(0) draws in
+          sum := !sum +. m;
+          sumsq := !sumsq +. (m *. m)
+        done;
+        let mean = !sum /. float_of_int reps in
+        let var =
+          Float.max 0. ((!sumsq /. float_of_int reps) -. (mean *. mean))
+        in
+        let se = sqrt (var /. float_of_int reps) in
+        abs_float (mean -. expected)
+        <= (3.5 *. se) +. (1e-6 *. (1. +. abs_float expected)))
+  in
   [
     Test.make ~name:"quantile: cdf(quantile p) ~ p for exponential"
       ~count:200
@@ -1119,6 +1148,33 @@ let qcheck_props =
         let var = Float.max 0. ((!sumsq /. float_of_int reps) -. (mean *. mean)) in
         let se = sqrt (var /. float_of_int reps) in
         abs_float (mean -. exact) <= (3.5 *. se) +. 1e-9);
+    mc_min_matches ~name:"E[min] exponential closed form vs MC"
+      (fun seed ->
+        Exponential.create ~rate:(0.05 +. (0.01 *. float_of_int (seed mod 50))))
+      (fun d n ->
+        let rate = List.assoc "lambda" d.Distribution.params in
+        Order_stats.exponential_expected_min ~rate n);
+    mc_min_matches ~name:"E[min] weibull closed form vs MC"
+      (fun seed ->
+        Weibull.create
+          ~shape:(0.8 +. (0.1 *. float_of_int (seed mod 20)))
+          ~scale:(5. +. float_of_int (seed mod 30)))
+      (fun d n ->
+        let shape = List.assoc "shape" d.Distribution.params in
+        let scale = List.assoc "scale" d.Distribution.params in
+        Order_stats.weibull_expected_min ~shape ~scale n);
+    mc_min_matches ~name:"E[min] lognormal quadrature vs MC"
+      (fun seed ->
+        Lognormal.create
+          ~mu:(1. +. (0.1 *. float_of_int (seed mod 20)))
+          ~sigma:(0.3 +. (0.05 *. float_of_int (seed mod 10))))
+      Order_stats.expected_min;
+    mc_min_matches ~name:"E[min] gamma quadrature vs MC"
+      (fun seed ->
+        Gamma_dist.create
+          ~shape:(1. +. (0.25 *. float_of_int (seed mod 12)))
+          ~rate:(0.1 +. (0.05 *. float_of_int (seed mod 8))))
+      Order_stats.expected_min;
     Test.make ~name:"summary quantile is monotone in p" ~count:100
       (list_of_size (Gen.int_range 1 40) (float_range (-100.) 100.))
       (fun xs ->
